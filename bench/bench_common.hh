@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harness: problem-size
+ * scaling, the standard application registry (the paper's Table 1
+ * suite), and table formatting.
+ *
+ * Every bench binary reproduces one table or figure of the paper.
+ * By default the workloads run at reduced ("quick") problem sizes so
+ * the whole suite completes in minutes; set SHRIMP_SCALE=full in the
+ * environment for the paper's sizes (2M-key radix, 258^2 Ocean, 16K-
+ * body Barnes), which take correspondingly longer host time.
+ */
+
+#ifndef SHRIMP_BENCH_BENCH_COMMON_HH
+#define SHRIMP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/barnes.hh"
+#include "apps/dfs.hh"
+#include "apps/ocean.hh"
+#include "apps/radix.hh"
+#include "apps/render.hh"
+
+namespace shrimp::bench
+{
+
+/** True when SHRIMP_SCALE=full is set. */
+inline bool
+fullScale()
+{
+    const char *v = std::getenv("SHRIMP_SCALE");
+    return v && std::strcmp(v, "full") == 0;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("scale: %s (set SHRIMP_SCALE=full for paper sizes)\n\n",
+                fullScale() ? "full" : "quick");
+}
+
+// ----------------------------------------------------------------------
+// Problem sizes
+// ----------------------------------------------------------------------
+
+inline apps::RadixConfig
+radixConfig()
+{
+    apps::RadixConfig cfg;
+    if (fullScale()) {
+        cfg.keys = 2 * 1024 * 1024; // paper: 2M keys
+        cfg.iterations = 3;         // paper: 3 iters
+    } else {
+        cfg.keys = 256 * 1024;
+        cfg.iterations = 2;
+    }
+    return cfg;
+}
+
+inline apps::OceanConfig
+oceanConfig()
+{
+    apps::OceanConfig cfg;
+    if (fullScale()) {
+        cfg.n = 258; // paper: 258 x 258
+        cfg.iterations = 30;
+    } else {
+        cfg.n = 130;
+        cfg.iterations = 10;
+    }
+    return cfg;
+}
+
+inline apps::BarnesConfig
+barnesSvmConfig()
+{
+    apps::BarnesConfig cfg;
+    if (fullScale()) {
+        cfg.bodies = 16384; // paper: 16K bodies
+        cfg.timesteps = 3;
+    } else {
+        cfg.bodies = 4096;
+        cfg.timesteps = 2;
+    }
+    return cfg;
+}
+
+inline apps::BarnesConfig
+barnesNxConfig()
+{
+    apps::BarnesConfig cfg;
+    if (fullScale()) {
+        cfg.bodies = 4096; // paper: 4K bodies, 20 iters
+        cfg.timesteps = 20;
+    } else {
+        cfg.bodies = 2048;
+        cfg.timesteps = 3;
+    }
+    return cfg;
+}
+
+inline apps::DfsConfig
+dfsConfig()
+{
+    apps::DfsConfig cfg; // paper: 4 clients
+    if (fullScale()) {
+        cfg.filesPerClient = 8;
+        cfg.blocksPerFile = 96;
+    } else {
+        cfg.filesPerClient = 3;
+        cfg.blocksPerFile = 32;
+    }
+    return cfg;
+}
+
+inline apps::RenderConfig
+renderConfig()
+{
+    apps::RenderConfig cfg;
+    if (fullScale()) {
+        cfg.imageSize = 384;
+        cfg.tileSize = 32;
+    } else {
+        cfg.imageSize = 192;
+        cfg.tileSize = 32;
+        cfg.volumeBytes = 512 * 1024;
+    }
+    return cfg;
+}
+
+// ----------------------------------------------------------------------
+// The Table 1 application suite
+// ----------------------------------------------------------------------
+
+/** One registry entry: a runnable application configuration. */
+struct AppSpec
+{
+    std::string name;  //!< as in the paper's tables
+    std::string api;   //!< SVM / VMMC / NX / Sockets
+    int nprocs;        //!< standard node count for the tables
+
+    /** Run under the given cluster config at @p nprocs. */
+    std::function<apps::AppResult(const core::ClusterConfig &)> run;
+
+    /** Run at an arbitrary processor count (speedup curves). */
+    std::function<apps::AppResult(const core::ClusterConfig &, int)>
+        runAt;
+};
+
+/**
+ * The eight applications with their best-performing variant, as used
+ * throughout Sec 4's tables (16 nodes unless stated otherwise).
+ *
+ * @param barnes_nx_procs Table 4 measures Barnes-NX on 8 nodes.
+ */
+inline std::vector<AppSpec>
+standardApps(int barnes_nx_procs = 16)
+{
+    using namespace shrimp::apps;
+    using shrimp::svm::Protocol;
+    std::vector<AppSpec> specs;
+
+    specs.push_back(
+        {"Barnes-SVM", "SVM", 16,
+         [](const core::ClusterConfig &cc) {
+             return runBarnesSvm(cc, Protocol::AURC, 16,
+                                 barnesSvmConfig());
+         },
+         [](const core::ClusterConfig &cc, int p) {
+             return runBarnesSvm(cc, Protocol::AURC, p,
+                                 barnesSvmConfig());
+         }});
+    specs.push_back(
+        {"Ocean-SVM", "SVM", 16,
+         [](const core::ClusterConfig &cc) {
+             return runOceanSvm(cc, Protocol::AURC, 16, oceanConfig());
+         },
+         [](const core::ClusterConfig &cc, int p) {
+             return runOceanSvm(cc, Protocol::AURC, p, oceanConfig());
+         }});
+    specs.push_back(
+        {"Radix-SVM", "SVM", 16,
+         [](const core::ClusterConfig &cc) {
+             return runRadixSvm(cc, Protocol::AURC, 16, radixConfig());
+         },
+         [](const core::ClusterConfig &cc, int p) {
+             return runRadixSvm(cc, Protocol::AURC, p, radixConfig());
+         }});
+    specs.push_back(
+        {"Radix-VMMC", "VMMC", 16,
+         [](const core::ClusterConfig &cc) {
+             return runRadixVmmc(cc, /*au=*/true, 16, radixConfig());
+         },
+         [](const core::ClusterConfig &cc, int p) {
+             return runRadixVmmc(cc, true, p, radixConfig());
+         }});
+    specs.push_back(
+        {"Barnes-NX", "NX", barnes_nx_procs,
+         [barnes_nx_procs](const core::ClusterConfig &cc) {
+             return runBarnesNx(cc, /*au=*/false, barnes_nx_procs,
+                                barnesNxConfig());
+         },
+         [](const core::ClusterConfig &cc, int p) {
+             return runBarnesNx(cc, false, p, barnesNxConfig());
+         }});
+    specs.push_back(
+        {"Ocean-NX", "NX", 16,
+         [](const core::ClusterConfig &cc) {
+             return runOceanNx(cc, /*au=*/true, 16, oceanConfig());
+         },
+         [](const core::ClusterConfig &cc, int p) {
+             return runOceanNx(cc, true, p, oceanConfig());
+         }});
+    specs.push_back(
+        {"DFS-sockets", "Sockets", 12,
+         [](const core::ClusterConfig &cc) {
+             return runDfs(cc, dfsConfig());
+         },
+         nullptr});
+    specs.push_back(
+        {"Render-sockets", "Sockets", 16,
+         [](const core::ClusterConfig &cc) {
+             return runRender(cc, renderConfig());
+         },
+         nullptr});
+    return specs;
+}
+
+/** Percent-change helper. */
+inline double
+pctIncrease(Tick base, Tick changed)
+{
+    return base ? 100.0 * (double(changed) - double(base)) /
+                      double(base)
+                : 0.0;
+}
+
+} // namespace shrimp::bench
+
+#endif // SHRIMP_BENCH_BENCH_COMMON_HH

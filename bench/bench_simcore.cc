@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Host-side performance of the simulation substrate itself (google-
+ * benchmark): event throughput, fiber context switches, mesh packet
+ * routing, and VMMC small-message rate. Useful for spotting
+ * regressions that would make the experiment suite slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "core/vmmc.hh"
+#include "mesh/network.hh"
+#include "sim/simulation.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t count = 0;
+        for (int i = 0; i < 1000; ++i) {
+            q.schedule(Tick(i), [&q, &count] {
+                if (++count < 10000)
+                    q.schedule(100, [] {});
+            });
+        }
+        q.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        int hops = 0;
+        sim.spawn("a", [&] {
+            for (int i = 0; i < 1000; ++i) {
+                sim.delay(1);
+                ++hops;
+            }
+        });
+        sim.run();
+        benchmark::DoNotOptimize(hops);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_MeshRouting(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        mesh::Network net(sim, 4, 4);
+        std::uint64_t delivered = 0;
+        for (NodeId n = 0; n < 16; ++n)
+            net.attach(n,
+                       [&delivered](const mesh::Packet &) {
+                           ++delivered;
+                       });
+        for (int i = 0; i < 2000; ++i) {
+            mesh::Packet p;
+            p.src = NodeId(i % 16);
+            p.dst = NodeId((i * 7 + 3) % 16);
+            p.wireBytes = 128;
+            net.send(std::move(p));
+        }
+        sim.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MeshRouting);
+
+void
+BM_VmmcSmallMessages(benchmark::State &state)
+{
+    for (auto _ : state) {
+        core::Cluster c;
+        core::ExportId exp = core::kInvalidExport;
+        char *rbuf = nullptr;
+        c.spawnOn(1, "recv", [&] {
+            rbuf = static_cast<char *>(
+                c.node(1).mem().alloc(4096, true));
+            std::memset(rbuf, 0, 4096);
+            exp = c.vmmc(1).exportBuffer(rbuf, 4096);
+            c.vmmc(1).waitUntil([&] { return rbuf[0] == 100; });
+        });
+        c.spawnOn(0, "send", [&] {
+            auto &ep = c.vmmc(0);
+            while (exp == core::kInvalidExport)
+                c.sim().delay(microseconds(10));
+            core::ProxyId p = ep.import(1, exp);
+            for (char i = 1; i <= 100; ++i)
+                ep.send(p, &i, 1, 0);
+            ep.drainSends();
+        });
+        c.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_VmmcSmallMessages);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

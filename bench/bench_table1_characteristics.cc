@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Table 1: application characteristics — API, problem size, and
+ * sequential (1-node) execution time.
+ *
+ * Paper values (the surviving entries of the scanned table):
+ *   Radix-SVM   2M keys, 3 iters   14.3 s
+ *   Radix-VMMC  2M keys, 3 iters   10.9 s
+ *   DFS-sockets 4 clients           6.9 s
+ *   (Ocean-NX does not run on a uniprocessor; two-node time given.)
+ *
+ * At quick scale the sizes are reduced; at SHRIMP_SCALE=full the
+ * radix rows run the paper's sizes and should land in the right
+ * ballpark (the calibration constants live in the app configs).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.hh"
+
+using namespace shrimp;
+using namespace shrimp::bench;
+using namespace shrimp::apps;
+using shrimp::svm::Protocol;
+
+int
+main()
+{
+    banner("application characteristics", "Table 1");
+
+    core::ClusterConfig cc;
+    bool full = fullScale();
+
+    struct Row
+    {
+        std::string name;
+        std::string api;
+        std::string size;
+        double seq_secs;
+        double paper_secs; //!< <0 when the scan lost the value
+    };
+    std::vector<Row> rows;
+
+    {
+        auto cfg = barnesSvmConfig();
+        auto r = runBarnesSvm(cc, Protocol::AURC, 1, cfg);
+        rows.push_back({"Barnes-SVM", "SVM",
+                        std::to_string(cfg.bodies) + " bodies",
+                        toSeconds(r.elapsed), -1});
+    }
+    {
+        auto cfg = oceanConfig();
+        auto r = runOceanSvm(cc, Protocol::AURC, 1, cfg);
+        rows.push_back({"Ocean-SVM", "SVM",
+                        std::to_string(cfg.n) + "x" +
+                            std::to_string(cfg.n),
+                        toSeconds(r.elapsed), -1});
+    }
+    {
+        auto cfg = radixConfig();
+        auto r = runRadixSvm(cc, Protocol::AURC, 1, cfg);
+        rows.push_back({"Radix-SVM", "SVM",
+                        std::to_string(cfg.keys / 1024) + "K keys, " +
+                            std::to_string(cfg.iterations) + " iters",
+                        toSeconds(r.elapsed), full ? 14.3 : -1});
+    }
+    {
+        auto cfg = radixConfig();
+        auto r = runRadixVmmc(cc, true, 1, cfg);
+        rows.push_back({"Radix-VMMC", "VMMC",
+                        std::to_string(cfg.keys / 1024) + "K keys, " +
+                            std::to_string(cfg.iterations) + " iters",
+                        toSeconds(r.elapsed), full ? 10.9 : -1});
+    }
+    {
+        auto cfg = barnesNxConfig();
+        auto r = runBarnesNx(cc, false, 1, cfg);
+        rows.push_back({"Barnes-NX", "NX",
+                        std::to_string(cfg.bodies) + " bodies, " +
+                            std::to_string(cfg.timesteps) + " iters",
+                        toSeconds(r.elapsed), -1});
+    }
+    {
+        auto cfg = oceanConfig();
+        // Paper note: Ocean-NX does not run on a uniprocessor; the
+        // two-node running time is given.
+        auto r = runOceanNx(cc, true, 2, cfg);
+        rows.push_back({"Ocean-NX (2n)", "NX",
+                        std::to_string(cfg.n) + "x" +
+                            std::to_string(cfg.n),
+                        toSeconds(r.elapsed), -1});
+    }
+    {
+        auto cfg = dfsConfig();
+        auto r = runDfs(cc, cfg);
+        rows.push_back({"DFS-sockets", "Sockets",
+                        std::to_string(cfg.clients) + " clients",
+                        toSeconds(r.elapsed), full ? 6.9 : -1});
+    }
+    {
+        auto cfg = renderConfig();
+        auto r = runRender(cc, cfg);
+        rows.push_back({"Render-sockets", "Sockets",
+                        std::to_string(cfg.imageSize) + "^2 image",
+                        toSeconds(r.elapsed), -1});
+    }
+
+    std::printf("%-16s %-8s %-22s %12s %12s\n", "Application", "API",
+                "Problem size", "Seq (s)", "Paper (s)");
+    for (const auto &r : rows) {
+        if (r.paper_secs > 0)
+            std::printf("%-16s %-8s %-22s %12.2f %12.1f\n",
+                        r.name.c_str(), r.api.c_str(), r.size.c_str(),
+                        r.seq_secs, r.paper_secs);
+        else
+            std::printf("%-16s %-8s %-22s %12.2f %12s\n",
+                        r.name.c_str(), r.api.c_str(), r.size.c_str(),
+                        r.seq_secs, "(n/a)");
+    }
+    return 0;
+}

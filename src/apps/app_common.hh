@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark applications: result
+ * records, measurement helpers, and per-app compute-cost calibration
+ * constants (60 MHz Pentium era; see EXPERIMENTS.md).
+ */
+
+#ifndef SHRIMP_APPS_APP_COMMON_HH
+#define SHRIMP_APPS_APP_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "sim/logging.hh"
+#include "sim/time_account.hh"
+
+namespace shrimp::apps
+{
+
+/** What one application run produced. */
+struct AppResult
+{
+    std::string name;
+    int nprocs = 1;
+
+    /** Simulated wall time of the measured (parallel) region. */
+    Tick elapsed = 0;
+
+    /** Sum of per-rank time accounts over the measured region. */
+    TimeAccount combined;
+
+    /** VMMC messages sent during the measured region. */
+    std::uint64_t messages = 0;
+
+    /** User-level notifications delivered during the region. */
+    std::uint64_t notifications = 0;
+
+    /** App-specific checksum for correctness verification. */
+    std::uint64_t checksum = 0;
+
+    /** Speedup helper given a 1-proc elapsed time. */
+    double
+    speedupOver(Tick seq) const
+    {
+        return elapsed ? double(seq) / double(elapsed) : 0.0;
+    }
+};
+
+/**
+ * Snapshot of cluster-wide message counters, for before/after deltas
+ * around the measured region.
+ */
+struct MessageSnapshot
+{
+    std::uint64_t messages = 0;
+    std::uint64_t notifications = 0;
+
+    static MessageSnapshot
+    take(core::Cluster &c)
+    {
+        MessageSnapshot s;
+        s.messages = c.sumNodeCounter("vmmc.messages");
+        s.notifications = c.sumNodeCounter("vmmc.notifications");
+        return s;
+    }
+};
+
+/** Fill @p result's message fields from a before/after pair. */
+inline void
+recordMessages(AppResult &result, const MessageSnapshot &before,
+               const MessageSnapshot &after)
+{
+    result.messages = after.messages - before.messages;
+    result.notifications = after.notifications - before.notifications;
+}
+
+/**
+ * Simple max-reduction of per-rank region end times into an elapsed
+ * value: ranks record start/end around the measured phase.
+ */
+struct RegionClock
+{
+    std::vector<Tick> start;
+    std::vector<Tick> end;
+
+    explicit RegionClock(int nprocs) : start(nprocs, 0), end(nprocs, 0)
+    {
+    }
+
+    Tick
+    elapsed() const
+    {
+        Tick s = ~Tick(0), e = 0;
+        for (std::size_t i = 0; i < start.size(); ++i) {
+            s = std::min(s, start[i]);
+            e = std::max(e, end[i]);
+        }
+        return e > s ? e - s : 0;
+    }
+};
+
+/**
+ * After cluster.run() returns, any unfinished process is deadlocked
+ * (the event queue drained while it was blocked). Warn loudly —
+ * results from such a run are not meaningful.
+ */
+inline std::vector<std::string>
+deadlockedProcesses(core::Cluster &cluster)
+{
+    auto stuck = cluster.sim().unfinishedProcesses();
+    // Service processes that intentionally never exit are named with
+    // recognisable suffixes; ignore them.
+    std::vector<std::string> real;
+    for (auto &n : stuck) {
+        if (n.find(".notifier") == std::string::npos &&
+            n.find(".du_engine") == std::string::npos &&
+            n.find(".fw_engine") == std::string::npos)
+            real.push_back(n);
+    }
+    return real;
+}
+
+inline void
+warnIfDeadlocked(core::Cluster &cluster, const char *app)
+{
+    auto real = deadlockedProcesses(cluster);
+    if (real.empty())
+        return;
+    warn("%s: %zu processes deadlocked; first: %s", app, real.size(),
+         real.front().c_str());
+}
+
+} // namespace shrimp::apps
+
+#endif // SHRIMP_APPS_APP_COMMON_HH

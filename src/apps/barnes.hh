@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Barnes-Hut hierarchical N-body (Sec 3), in the paper's two ports:
+ *
+ *  - Barnes-SVM  SPLASH-2-style shared octree: processors insert
+ *                their bodies under per-cell locks (centre-of-mass
+ *                accumulates on the way down), then compute forces by
+ *                partial traversals. Lock- and notification-heavy
+ *                (Table 3: 33% of messages carry notifications).
+ *  - Barnes-NX   message-passing version with a replicated tree:
+ *                every timestep all-gathers the bodies, builds a
+ *                local tree, and computes forces for its partition.
+ *                Beyond 8 nodes the gather communication erodes the
+ *                otherwise compute-only phase (Sec 3).
+ */
+
+#ifndef SHRIMP_APPS_BARNES_HH
+#define SHRIMP_APPS_BARNES_HH
+
+#include "apps/app_common.hh"
+#include "svm/svm.hh"
+
+namespace shrimp::apps
+{
+
+/** Barnes-Hut problem configuration. */
+struct BarnesConfig
+{
+    /** Bodies; the paper runs 16K (SVM) / 4K (NX). */
+    int bodies = 16384;
+
+    /** Simulated timesteps. */
+    int timesteps = 4;
+
+    /** Opening criterion. */
+    double theta = 1.0;
+
+    /** Integration step. */
+    double dt = 0.025;
+
+    /**
+     * Charged per accepted body-cell interaction: ~30 flops with a
+     * square root; roughly 250 cycles on the 60 MHz Pentium.
+     */
+    Tick perInteractionCost = nanoseconds(4200);
+
+    /** Charged per tree-descent step during insertion. */
+    Tick perBuildStepCost = nanoseconds(500);
+
+    /**
+     * NX variant: bodies per allgather message. The paper's Barnes-NX
+     * exchanges ~1M messages for 4K bodies x 20 steps, i.e. the
+     * implementation communicates at (near) per-body granularity.
+     */
+    int bodiesPerMessage = 4;
+
+    /** Workload RNG seed. */
+    std::uint64_t seed = 2718;
+};
+
+/** Run the shared-tree SVM version under @p protocol. */
+AppResult runBarnesSvm(const core::ClusterConfig &cluster_config,
+                       svm::Protocol protocol, int nprocs,
+                       const BarnesConfig &config);
+
+/** Run the replicated-tree NX version. */
+AppResult runBarnesNx(const core::ClusterConfig &cluster_config,
+                      bool use_au, int nprocs,
+                      const BarnesConfig &config);
+
+} // namespace shrimp::apps
+
+#endif // SHRIMP_APPS_BARNES_HH

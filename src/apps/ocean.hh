@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ocean: the SPLASH-2 fluid-dynamics kernel's communication character
+ * — iterative nearest-neighbour grid relaxation over a 258x258 grid,
+ * statically partitioned into blocks of whole contiguous rows, with
+ * per-sweep convergence reductions (Sec 3).
+ *
+ *  - Ocean-SVM  shared grid on the SVM runtime; neighbour boundary
+ *               rows fault in at page granularity.
+ *  - Ocean-NX   message-passing version exchanging ghost rows.
+ */
+
+#ifndef SHRIMP_APPS_OCEAN_HH
+#define SHRIMP_APPS_OCEAN_HH
+
+#include "apps/app_common.hh"
+#include "svm/svm.hh"
+
+namespace shrimp::apps
+{
+
+/** Ocean problem configuration. */
+struct OceanConfig
+{
+    /** Grid edge including boundary; the paper runs 258x258. */
+    int n = 258;
+
+    /** Relaxation sweeps. */
+    int iterations = 30;
+
+    /**
+     * Computation per interior point per sweep. SPLASH-2 Ocean does
+     * several multi-array updates per point; ~360 cycles at 60 MHz.
+     */
+    Tick perPointCost = microseconds(6.0);
+
+    /** Reduce (convergence check) every this many sweeps. */
+    int reduceEvery = 4;
+};
+
+/** Run the SVM version under @p protocol. */
+AppResult runOceanSvm(const core::ClusterConfig &cluster_config,
+                      svm::Protocol protocol, int nprocs,
+                      const OceanConfig &config);
+
+/** Run the NX version; @p use_au selects the AU bulk transport. */
+AppResult runOceanNx(const core::ClusterConfig &cluster_config,
+                     bool use_au, int nprocs,
+                     const OceanConfig &config);
+
+} // namespace shrimp::apps
+
+#endif // SHRIMP_APPS_OCEAN_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The SPLASH-2 integer radix sort, in the paper's two ports (Sec 3):
+ *
+ *  - Radix-SVM   shared-memory version on the SVM runtime. The key
+ *                permutation writes a highly scattered pattern that
+ *                induces heavy page-granularity false sharing.
+ *  - Radix-VMMC  native VMMC port. The deliberate-update variant
+ *                gathers each destination's keys into large messages
+ *                that the receiver scatters; the automatic-update
+ *                variant places keys directly into remote partitions
+ *                through AU mappings (Fig. 4 right: AU improves the
+ *                DU speedup by ~3.4x).
+ */
+
+#ifndef SHRIMP_APPS_RADIX_HH
+#define SHRIMP_APPS_RADIX_HH
+
+#include "apps/app_common.hh"
+#include "svm/svm.hh"
+
+namespace shrimp::apps
+{
+
+/** Radix sort problem configuration. */
+struct RadixConfig
+{
+    /** Number of 32-bit keys; the paper sorts 2M. */
+    std::size_t keys = 2 * 1024 * 1024;
+
+    /** Sort passes (the paper's "3 iters"). */
+    int iterations = 3;
+
+    /** Radix bits per pass (SPLASH-2 default 10 -> R = 1024). */
+    int radixBits = 10;
+
+    /**
+     * Computation charged per key per pass (digit extraction, loop
+     * overhead, cache misses), calibrated so the 2M-key sequential
+     * run lands near Table 1's 10.9-14.3 s on the 60 MHz node.
+     */
+    Tick perKeyCost = nanoseconds(1200);
+
+    /**
+     * DU variant only: gathering a key into its per-destination
+     * message buffer (read + append, one cache miss).
+     */
+    Tick gatherPerKey = nanoseconds(800);
+
+    /**
+     * DU variant only: scattering a received key to its slot in the
+     * destination array (random-access write, ~2 cache misses).
+     */
+    Tick scatterPerKey = nanoseconds(1600);
+
+    /** Workload RNG seed. */
+    std::uint64_t seed = 12345;
+};
+
+/** Run the SVM port under @p protocol on @p nprocs ranks. */
+AppResult runRadixSvm(const core::ClusterConfig &cluster_config,
+                      svm::Protocol protocol, int nprocs,
+                      const RadixConfig &config);
+
+/** Run the native VMMC port; @p use_au selects the AU variant. */
+AppResult runRadixVmmc(const core::ClusterConfig &cluster_config,
+                       bool use_au, int nprocs,
+                       const RadixConfig &config);
+
+} // namespace shrimp::apps
+
+#endif // SHRIMP_APPS_RADIX_HH

@@ -1,0 +1,50 @@
+#include "core/cluster.hh"
+
+#include "core/vmmc.hh"
+#include "sim/logging.hh"
+
+namespace shrimp::core
+{
+
+Cluster::Cluster(const ClusterConfig &config) : _config(config)
+{
+    _network = std::make_unique<mesh::Network>(
+        _sim, config.meshWidth, config.meshHeight, config.network);
+
+    int n = config.meshWidth * config.meshHeight;
+    nodes.reserve(n);
+    nics.reserve(n);
+    endpoints.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        nodes.push_back(std::make_unique<node::Node>(
+            _sim, NodeId(i), config.machine, config.nodeMemBytes));
+        switch (config.nicKind) {
+          case NicKind::Shrimp:
+            nics.push_back(std::make_unique<nic::ShrimpNic>(
+                *nodes.back(), *_network, config.shrimpNic));
+            break;
+          case NicKind::Baseline:
+            nics.push_back(std::make_unique<nic::BaselineNic>(
+                *nodes.back(), *_network, config.baselineNic));
+            break;
+        }
+        endpoints.push_back(std::make_unique<Endpoint>(
+            *this, *nodes.back(), *nics.back()));
+    }
+
+    _sim.rng() = Random(config.seed);
+}
+
+Cluster::~Cluster() = default;
+
+std::uint64_t
+Cluster::sumNodeCounter(const std::string &suffix)
+{
+    std::uint64_t total = 0;
+    for (auto &np : nodes) {
+        total += _sim.stats().counterValue(np->name() + "." + suffix);
+    }
+    return total;
+}
+
+} // namespace shrimp::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cluster composition: simulation + mesh + nodes + NICs + VMMC
+ * endpoints, configured by a single ClusterConfig that carries every
+ * what-if knob the paper's experiments flip.
+ */
+
+#ifndef SHRIMP_CORE_CLUSTER_HH
+#define SHRIMP_CORE_CLUSTER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mesh/network.hh"
+#include "nic/baseline_nic.hh"
+#include "nic/shrimp_nic.hh"
+#include "node/node.hh"
+#include "sim/simulation.hh"
+
+namespace shrimp::core
+{
+
+class Endpoint;
+
+/** Which network interface the cluster is built with. */
+enum class NicKind
+{
+    Shrimp,   //!< the custom SHRIMP NI (UDMA + automatic update)
+    Baseline, //!< Myrinet-style firmware-mediated adapter (Sec 4.1)
+};
+
+/** Everything needed to build a cluster. */
+struct ClusterConfig
+{
+    int meshWidth = 4;
+    int meshHeight = 4;
+
+    node::MachineParams machine;
+    mesh::NetworkParams network;
+
+    NicKind nicKind = NicKind::Shrimp;
+    nic::ShrimpNicParams shrimpNic;
+    nic::BaselineNicParams baselineNic;
+
+    /** Physical memory arena per node. */
+    std::size_t nodeMemBytes = 96ull * 1024 * 1024;
+
+    /**
+     * Table 2 knob: when false, every VMMC message send makes a
+     * system call into a kernel driver before the transfer.
+     */
+    bool udmaSends = true;
+
+    /** Cost of one receive-poll check (flag load + compare). */
+    Tick pollCheckCost = nanoseconds(300);
+
+    /** RNG seed for workloads. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * A SHRIMP cluster instance.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config = ClusterConfig());
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** The owning simulation. */
+    Simulation &sim() { return _sim; }
+
+    /** The backplane. */
+    mesh::Network &network() { return *_network; }
+
+    /** Number of nodes (mesh width x height). */
+    int nodeCount() const { return int(nodes.size()); }
+
+    /** Node @p i. */
+    node::Node &node(int i) { return *nodes.at(i); }
+
+    /** NIC of node @p i. */
+    nic::NicBase &nic(int i) { return *nics.at(i); }
+
+    /** VMMC endpoint of node @p i. */
+    Endpoint &vmmc(int i) { return *endpoints.at(i); }
+
+    /** Configuration the cluster was built with. */
+    const ClusterConfig &config() const { return _config; }
+
+    /** Convenience: spawn an application process on node @p i. */
+    Process *
+    spawnOn(int i, const std::string &name, std::function<void()> body)
+    {
+        return node(i).spawnProcess(name, std::move(body));
+    }
+
+    /** Run the simulation until the event queue drains. */
+    void run() { _sim.run(); }
+
+    /** Aggregate a per-node counter over all nodes ("<node>.X"). */
+    std::uint64_t sumNodeCounter(const std::string &suffix);
+
+  private:
+    friend class Endpoint;
+
+    ClusterConfig _config;
+    Simulation _sim;
+    std::unique_ptr<mesh::Network> _network;
+    std::vector<std::unique_ptr<node::Node>> nodes;
+    std::vector<std::unique_ptr<nic::NicBase>> nics;
+    std::vector<std::unique_ptr<Endpoint>> endpoints;
+};
+
+} // namespace shrimp::core
+
+#endif // SHRIMP_CORE_CLUSTER_HH

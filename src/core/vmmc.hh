@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Virtual Memory-Mapped Communication — the paper's core contribution
+ * (Sec 2.2/2.3).
+ *
+ * A process *exports* a receive buffer (contiguous, page-pinned
+ * memory) with permissions; peers *import* it, obtaining a proxy with
+ * one outgoing-page-table entry per page. Data moves by *deliberate
+ * update* (explicit user-level DMA transfers that may not cross page
+ * boundaries) or by *automatic update* (page-aligned bindings under
+ * which local writes propagate as a side effect). Receivers poll, or
+ * enable *notifications* — signal-like user-level upcalls triggered by
+ * a per-page interrupt bit.
+ */
+
+#ifndef SHRIMP_CORE_VMMC_HH
+#define SHRIMP_CORE_VMMC_HH
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "nic/nic_base.hh"
+#include "node/node.hh"
+
+namespace shrimp::core
+{
+
+/** Identifies an exported receive buffer on its owning node. */
+using ExportId = std::uint32_t;
+
+/** Identifies an imported proxy buffer on the importing node. */
+using ProxyId = std::uint32_t;
+
+/** Invalid ids. */
+inline constexpr ExportId kInvalidExport = ~ExportId(0);
+inline constexpr ProxyId kInvalidProxy = ~ProxyId(0);
+
+/**
+ * User-level notification handler: invoked (on the node's dispatcher
+ * process, signal-like) when a message with the interrupt-request bit
+ * lands in a notification-enabled buffer.
+ */
+using NotificationHandler = std::function<void(
+    NodeId src_node, std::uint32_t offset, std::uint32_t bytes)>;
+
+/**
+ * Import permissions attached to an export (Sec 2.2: "a process
+ * exports the buffer together with a set of permissions").
+ */
+struct ExportPermissions
+{
+    /** Open to every node (the default). */
+    static ExportPermissions
+    any()
+    {
+        return ExportPermissions{};
+    }
+
+    /** Restricted to an explicit set of importer nodes. */
+    static ExportPermissions
+    only(std::initializer_list<NodeId> nodes)
+    {
+        ExportPermissions p;
+        p.restricted = true;
+        p.allowed.assign(nodes.begin(), nodes.end());
+        return p;
+    }
+
+    /** @return whether @p node may import. */
+    bool
+    permits(NodeId node) const
+    {
+        if (!restricted)
+            return true;
+        for (NodeId n : allowed)
+            if (n == node)
+                return true;
+        return false;
+    }
+
+    bool restricted = false;
+    std::vector<NodeId> allowed;
+};
+
+/**
+ * An exported receive buffer.
+ */
+struct ExportRecord
+{
+    NodeId owner = kInvalidNode;
+    ExportId id = kInvalidExport;
+    char *base = nullptr;               //!< page-aligned arena memory
+    std::size_t bytes = 0;
+    node::Frame baseFrame = node::kInvalidFrame;
+    std::size_t pages = 0;
+    bool notifications = false;
+    NotificationHandler handler;
+    ExportPermissions permissions;
+};
+
+/**
+ * The per-node VMMC library + system layer.
+ */
+class Endpoint
+{
+  public:
+    /** Built by Cluster; not user-constructed. */
+    Endpoint(Cluster &cluster, node::Node &n, nic::NicBase &nic);
+
+    node::Node &node() { return _node; }
+    nic::NicBase &nic() { return _nic; }
+    Cluster &cluster() { return _cluster; }
+
+    // ------------------------------------------------------------------
+    // Export / import
+    // ------------------------------------------------------------------
+
+    /**
+     * Export @p bytes at @p base as a receive buffer, optionally
+     * restricted to a set of importer nodes.
+     *
+     * @p base must be page-aligned memory in this node's arena. Pages
+     * are pinned (cost charged). Process context.
+     */
+    ExportId exportBuffer(void *base, std::size_t bytes,
+                          ExportPermissions permissions =
+                              ExportPermissions::any());
+
+    /**
+     * Enable notifications on an exported buffer: arriving messages
+     * whose sender set the interrupt-request bit invoke @p handler.
+     */
+    void enableNotifications(ExportId id, NotificationHandler handler);
+
+    /** Block notification delivery for this process (all buffers). */
+    void blockNotifications() { _node.os().blockNotifications(); }
+
+    /** Resume notification delivery. */
+    void unblockNotifications() { _node.os().unblockNotifications(); }
+
+    /**
+     * Import buffer @p id exported by @p owner, creating a local
+     * proxy receive buffer. Process context.
+     */
+    ProxyId import(NodeId owner, ExportId id);
+
+    /** Size in bytes of an imported buffer. */
+    std::size_t importSize(ProxyId p) const;
+
+    // ------------------------------------------------------------------
+    // Deliberate update
+    // ------------------------------------------------------------------
+
+    /**
+     * Transfer @p bytes from local memory @p src into the imported
+     * buffer @p proxy at @p dst_offset. One VMMC message; split into
+     * page-bounded hardware transfers. Asynchronous: returns once the
+     * transfers are accepted by the NI. Process context.
+     *
+     * @param notify Set the interrupt-request bit on the final packet.
+     */
+    void send(ProxyId proxy, const void *src, std::size_t bytes,
+              std::size_t dst_offset, bool notify = false);
+
+    /** Block until all accepted sends have left the adapter. */
+    void drainSends() { _nic.drainSends(); }
+
+    // ------------------------------------------------------------------
+    // Automatic update
+    // ------------------------------------------------------------------
+
+    /** @return whether the adapter supports automatic update. */
+    bool auSupported() const { return _nic.supportsAutomaticUpdate(); }
+
+    /**
+     * Bind local memory to an imported buffer for automatic update.
+     * Both sides must be page-aligned; @p bytes is rounded up to
+     * whole pages (implementation restriction, Sec 2.2).
+     *
+     * @param local_base Page-aligned arena memory on this node.
+     * @param proxy Imported destination buffer.
+     * @param dst_offset Page-aligned offset into the destination.
+     * @param bytes Length of the binding.
+     * @param combining Enable AU combining on these pages.
+     * @param notify Request receiver notifications for AU packets.
+     */
+    void bindAu(void *local_base, ProxyId proxy, std::size_t dst_offset,
+                std::size_t bytes, bool combining = true,
+                bool notify = false);
+
+    /** Remove AU bindings for [local_base, local_base+bytes). */
+    void unbindAu(void *local_base, std::size_t bytes);
+
+    /**
+     * Write through an AU binding: updates local memory and lets the
+     * NI snoop the stores. Process context.
+     */
+    void
+    auWriteBlock(void *dst, const void *src, std::size_t bytes)
+    {
+        std::memcpy(dst, src, bytes);
+        _node.cpu().compute(transferTime(
+            bytes, _node.params().writeThroughBytesPerSec));
+        // The snoop path sees one store run per page.
+        char *d = static_cast<char *>(dst);
+        std::size_t remaining = bytes;
+        while (remaining > 0) {
+            std::uint32_t page_off =
+                node::pageOffset(_node.mem().offsetOf(d));
+            std::size_t chunk = std::min<std::size_t>(
+                remaining, node::kPageBytes - page_off);
+            _nic.auStore(d, std::uint32_t(chunk));
+            d += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    /** Typed single-value AU write. */
+    template <typename T>
+    void
+    auWrite(T *dst, T value)
+    {
+        auWriteBlock(dst, &value, sizeof(T));
+    }
+
+    /** Flush open AU packet trains (an NI-visible ordering point). */
+    void auFlush() { _nic.auFlush(); }
+
+    /**
+     * Flush and wait until every automatic update issued by this node
+     * has been applied remotely (release-side ordering for SVM).
+     */
+    void auFence() { _nic.auFence(); }
+
+    // ------------------------------------------------------------------
+    // Receiving
+    // ------------------------------------------------------------------
+
+    /**
+     * Poll until @p cond becomes true. Charges a per-check poll cost
+     * and sleeps between deliveries to this node. Process context.
+     */
+    void waitUntil(const std::function<bool()> &cond);
+
+    /** Monotone count of deliveries to this node. */
+    std::uint64_t deliveries() const { return _deliveries; }
+
+    /**
+     * Make pending computation visible and flush AU trains — call
+     * before releasing data written with plain stores + AU.
+     */
+    void
+    sync()
+    {
+        _nic.auFlush();
+        _node.cpu().sync();
+    }
+
+  private:
+    friend class Cluster;
+
+    void onDeliver(const nic::Delivery &d);
+
+    Cluster &_cluster;
+    node::Node &_node;
+    nic::NicBase &_nic;
+
+    struct Import
+    {
+        ExportRecord *record = nullptr;
+        std::vector<nic::OptIndex> proxyPages;
+    };
+
+    std::vector<Import> imports;
+    std::map<node::Frame, ExportRecord *> exportsByFrame;
+    std::vector<std::unique_ptr<ExportRecord>> exports;
+    WaitQueue deliveryWait;
+    std::uint64_t _deliveries = 0;
+};
+
+} // namespace shrimp::core
+
+#endif // SHRIMP_CORE_VMMC_HH

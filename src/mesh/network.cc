@@ -1,0 +1,74 @@
+#include "mesh/network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace shrimp::mesh
+{
+
+Network::Network(Simulation &sim, int width, int height,
+                 const NetworkParams &params)
+    : sim(sim), topo(width, height), _params(params),
+      receivers(topo.nodeCount()),
+      linkBusyUntil(topo.linkCount(), 0)
+{
+}
+
+void
+Network::attach(NodeId node, Receiver receiver)
+{
+    if (node >= receivers.size())
+        fatal("attach: node %u out of range", node);
+    receivers[node] = std::move(receiver);
+}
+
+void
+Network::send(Packet pkt)
+{
+    if (pkt.dst >= receivers.size())
+        panic("send to node %u out of range", pkt.dst);
+    if (!receivers[pkt.dst])
+        panic("send to node %u with no receiver attached", pkt.dst);
+
+    auto &stats = sim.stats();
+    stats.counter("mesh.packets").inc();
+    stats.counter("mesh.bytes").inc(pkt.wireBytes);
+
+    if (pkt.src == pkt.dst) {
+        auto p = std::make_shared<Packet>(std::move(pkt));
+        sim.schedule(_params.loopbackLatency,
+                     [this, p] { receivers[p->dst](*p); });
+        return;
+    }
+
+    Tick serialization = transferTime(pkt.wireBytes,
+                                      _params.linkBytesPerSec);
+
+    // Head enters the backplane through the injection transceiver.
+    Tick head = sim.now() + _params.transceiverLatency;
+    Tick tail_at_last_link_start = head;
+    for (int link : topo.route(pkt.src, pkt.dst)) {
+        // Cut-through: the head may be stalled by a busy link (a
+        // previous packet's body still streaming through it).
+        Tick start = std::max(head, linkBusyUntil[link]);
+        linkBusyUntil[link] = start + serialization;
+        if (start > head) {
+            stats.counter("mesh.link_stalls").inc();
+            stats.accumulator("mesh.link_stall_ps")
+                .sample(double(start - head));
+        }
+        tail_at_last_link_start = start;
+        head = start + _params.hopLatency;
+    }
+
+    // Tail arrival: the last link streams the body after its start.
+    Tick deliver = tail_at_last_link_start + _params.hopLatency +
+                   serialization + _params.transceiverLatency;
+
+    auto p = std::make_shared<Packet>(std::move(pkt));
+    sim.schedule(deliver - sim.now(),
+                 [this, p] { receivers[p->dst](*p); });
+}
+
+} // namespace shrimp::mesh

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Packet-level model of the Paragon-style routing backplane.
+ *
+ * Wormhole/cut-through behaviour is approximated at packet granularity:
+ * every unidirectional link serializes packets at the link bandwidth,
+ * the packet head pays a per-hop routing latency, and the body streams
+ * behind the head. Contention appears as queueing on the per-link
+ * busy-until timeline. Paths are fixed (dimension-order), so delivery
+ * between any source/destination pair is in order, as on the real
+ * backplane.
+ */
+
+#ifndef SHRIMP_MESH_NETWORK_HH
+#define SHRIMP_MESH_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "mesh/packet.hh"
+#include "mesh/topology.hh"
+#include "sim/simulation.hh"
+
+namespace shrimp::mesh
+{
+
+/** Tunable parameters of the backplane. */
+struct NetworkParams
+{
+    /** Link bandwidth; the Paragon backplane peaks at 200 MB/s. */
+    double linkBytesPerSec = 200.0e6;
+
+    /** Per-hop routing decision + switch traversal latency. */
+    Tick hopLatency = nanoseconds(40);
+
+    /** Extra latency for the transceiver boards at injection/ejection. */
+    Tick transceiverLatency = nanoseconds(50);
+
+    /** Latency for a node sending to itself (NI-internal loopback). */
+    Tick loopbackLatency = nanoseconds(200);
+};
+
+/**
+ * The backplane. Receivers (network interfaces) attach a delivery
+ * callback per node; send() models the traversal and schedules the
+ * callback at the packet's tail-arrival time.
+ */
+class Network
+{
+  public:
+    using Receiver = std::function<void(const Packet &)>;
+
+    /**
+     * @param sim Owning simulation.
+     * @param width Mesh width.
+     * @param height Mesh height.
+     * @param params Timing parameters.
+     */
+    Network(Simulation &sim, int width, int height,
+            const NetworkParams &params = NetworkParams());
+
+    /** Attach the receive callback for @p node. */
+    void attach(NodeId node, Receiver receiver);
+
+    /**
+     * Inject @p pkt at the current time.
+     *
+     * The delivery callback of the destination runs at the time the
+     * packet tail would arrive, accounting for link contention along
+     * the fixed X-Y path.
+     */
+    void send(Packet pkt);
+
+    /** Geometry access. */
+    const Topology &topology() const { return topo; }
+
+    /** Parameters access. */
+    const NetworkParams &params() const { return _params; }
+
+  private:
+    Simulation &sim;
+    Topology topo;
+    NetworkParams _params;
+    std::vector<Receiver> receivers;
+    std::vector<Tick> linkBusyUntil;
+};
+
+} // namespace shrimp::mesh
+
+#endif // SHRIMP_MESH_NETWORK_HH

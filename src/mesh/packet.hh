@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The generic unit of transfer on the routing backplane.
+ *
+ * The mesh is payload-agnostic: the network interface attaches its own
+ * packet structure as an opaque payload, and the mesh models only the
+ * on-wire size, source and destination.
+ */
+
+#ifndef SHRIMP_MESH_PACKET_HH
+#define SHRIMP_MESH_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace shrimp::mesh
+{
+
+/** A packet in flight on the backplane. */
+struct Packet
+{
+    /** Sending node. */
+    NodeId src = kInvalidNode;
+
+    /** Destination node. */
+    NodeId dst = kInvalidNode;
+
+    /** Total on-wire size, including routing and NI headers. */
+    std::uint32_t wireBytes = 0;
+
+    /** Opaque NI-level payload, handed to the receiver untouched. */
+    std::shared_ptr<void> payload;
+};
+
+} // namespace shrimp::mesh
+
+#endif // SHRIMP_MESH_PACKET_HH

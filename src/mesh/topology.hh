@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 2D-mesh geometry and oblivious dimension-order (X-Y) routing.
+ *
+ * The Intel Paragon backplane used by SHRIMP routes obliviously: the
+ * path between two nodes is fixed (X dimension first, then Y), which
+ * both the real system and this model rely on for in-order delivery.
+ */
+
+#ifndef SHRIMP_MESH_TOPOLOGY_HH
+#define SHRIMP_MESH_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp::mesh
+{
+
+/** Coordinates of a node on the mesh. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/**
+ * Geometry of a width x height mesh with node ids assigned in
+ * row-major order.
+ */
+class Topology
+{
+  public:
+    /**
+     * @param width Mesh width (columns).
+     * @param height Mesh height (rows).
+     */
+    Topology(int width, int height) : _width(width), _height(height)
+    {
+        if (width <= 0 || height <= 0)
+            fatal("mesh dimensions must be positive");
+    }
+
+    int width() const { return _width; }
+    int height() const { return _height; }
+    int nodeCount() const { return _width * _height; }
+
+    /** Map a node id to mesh coordinates. */
+    Coord
+    coordOf(NodeId id) const
+    {
+        return Coord{int(id) % _width, int(id) / _width};
+    }
+
+    /** Map coordinates to a node id. */
+    NodeId
+    idOf(Coord c) const
+    {
+        return NodeId(c.y * _width + c.x);
+    }
+
+    /** Manhattan hop count between two nodes. */
+    int
+    hops(NodeId a, NodeId b) const
+    {
+        Coord ca = coordOf(a), cb = coordOf(b);
+        return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+    }
+
+    /**
+     * Unidirectional links are identified by (from-node, direction).
+     * Directions: 0=+x, 1=-x, 2=+y, 3=-y.
+     */
+    static constexpr int kDirections = 4;
+
+    /** Dense link index for per-link state arrays. */
+    int
+    linkIndex(NodeId from, int dir) const
+    {
+        return int(from) * kDirections + dir;
+    }
+
+    /** Number of distinct link indices. */
+    int linkCount() const { return nodeCount() * kDirections; }
+
+    /**
+     * Compute the X-then-Y path from @p src to @p dst.
+     *
+     * @return the sequence of link indices traversed; empty when
+     *         src == dst.
+     */
+    std::vector<int>
+    route(NodeId src, NodeId dst) const
+    {
+        std::vector<int> path;
+        Coord cur = coordOf(src);
+        Coord end = coordOf(dst);
+        while (cur.x != end.x) {
+            int dir = end.x > cur.x ? 0 : 1;
+            path.push_back(linkIndex(idOf(cur), dir));
+            cur.x += end.x > cur.x ? 1 : -1;
+        }
+        while (cur.y != end.y) {
+            int dir = end.y > cur.y ? 2 : 3;
+            path.push_back(linkIndex(idOf(cur), dir));
+            cur.y += end.y > cur.y ? 1 : -1;
+        }
+        return path;
+    }
+
+  private:
+    int _width;
+    int _height;
+};
+
+} // namespace shrimp::mesh
+
+#endif // SHRIMP_MESH_TOPOLOGY_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A Myrinet-style baseline network interface (Sec 4.1).
+ *
+ * The adapter sits on the I/O bus and is driven by firmware on an
+ * embedded processor: the host posts a send descriptor (doorbell),
+ * firmware validates it, programs a DMA read of the data, and pushes
+ * the packet onto the link; receive is the mirror image. There is no
+ * memory-bus snooping, hence no automatic update. Parameter defaults
+ * target the ~10 us small-message latency the paper reports for its
+ * optimized VMMC firmware on Myrinet/PCI Pentiums.
+ */
+
+#ifndef SHRIMP_NIC_BASELINE_NIC_HH
+#define SHRIMP_NIC_BASELINE_NIC_HH
+
+#include <deque>
+
+#include "nic/nic_base.hh"
+#include "sim/simulation.hh"
+
+namespace shrimp::nic
+{
+
+/** Tunables of the baseline (Myrinet-like) adapter. */
+struct BaselineNicParams
+{
+    /** Host cost to build + post a send descriptor over the I/O bus. */
+    Tick doorbellCost = microseconds(1.2);
+
+    /** Firmware processing per send (validate, translate, program DMA). */
+    Tick firmwareSendCost = microseconds(3.6);
+
+    /** Firmware processing per receive before host data is visible. */
+    Tick firmwareRecvCost = microseconds(3.4);
+
+    /** Host I/O-bus DMA bandwidth (PCI-class). */
+    double dmaBytesPerSec = 90.0e6;
+
+    /** DMA setup per burst. */
+    Tick dmaSetup = nanoseconds(400);
+
+    /** Descriptor queue depth in adapter memory. */
+    int sendQueueDepth = 32;
+};
+
+/**
+ * The baseline adapter.
+ */
+class BaselineNic : public NicBase
+{
+  public:
+    /**
+     * @param n Owning node.
+     * @param net The backplane.
+     * @param params Adapter tunables.
+     */
+    BaselineNic(node::Node &n, mesh::Network &net,
+                const BaselineNicParams &params = BaselineNicParams());
+
+    bool supportsAutomaticUpdate() const override { return false; }
+
+    void submitDeliberate(const DuRequest &req) override;
+
+    void drainSends() override;
+
+    /** Parameters access. */
+    BaselineNicParams &params() { return _params; }
+
+  private:
+    void engineBody();
+    void receive(const mesh::Packet &pkt);
+
+    Simulation &sim;
+    BaselineNicParams _params;
+    std::string statPrefix;
+
+    std::deque<DuPacket> sendQueue;
+    std::deque<NodeId> sendQueueDst;
+    WaitQueue slotWait;
+    WaitQueue workWait;
+    WaitQueue idleWait;
+    bool engineBusy = false;
+    Tick recvBusyUntil = 0;
+};
+
+} // namespace shrimp::nic
+
+#endif // SHRIMP_NIC_BASELINE_NIC_HH

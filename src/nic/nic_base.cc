@@ -1,0 +1,42 @@
+#include "nic/nic_base.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp::nic
+{
+
+NicBase::NicBase(node::Node &n, mesh::Network &net) : _node(n), _net(net)
+{
+}
+
+void
+NicBase::bindAu(node::Frame, NodeId, node::Frame, bool, bool)
+{
+    fatal("this network interface does not support automatic update");
+}
+
+void
+NicBase::unbindAu(node::Frame)
+{
+    fatal("this network interface does not support automatic update");
+}
+
+void
+NicBase::auStore(const void *, std::uint32_t)
+{
+    // Writes are snooped but ignored on adapters without AU support;
+    // on a bus-less adapter there is simply nothing to do.
+}
+
+void
+NicBase::auFlush()
+{
+}
+
+void
+NicBase::auFence()
+{
+    auFlush();
+}
+
+} // namespace shrimp::nic

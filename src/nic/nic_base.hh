@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Abstract network interface: the contract VMMC (core/) programs to.
+ *
+ * Two implementations exist: ShrimpNic (the paper's custom hardware,
+ * with user-level DMA and automatic update) and BaselineNic (a
+ * Myrinet-style firmware-mediated adapter used for the "did it make
+ * sense to build hardware?" comparison, Sec 4.1).
+ */
+
+#ifndef SHRIMP_NIC_NIC_BASE_HH
+#define SHRIMP_NIC_NIC_BASE_HH
+
+#include <functional>
+
+#include "mesh/network.hh"
+#include "nic/packet.hh"
+#include "nic/page_tables.hh"
+#include "node/node.hh"
+
+namespace shrimp::nic
+{
+
+/**
+ * A deliberate-update transfer request as issued by the VMMC library.
+ *
+ * Transfers may not cross a page boundary on either side (Sec 4.5.3);
+ * the library splits larger sends.
+ */
+struct DuRequest
+{
+    const void *src = nullptr;      //!< source in the sender's arena/heap
+    OptIndex proxy = kInvalidOpt;   //!< destination mapping (OPT entry)
+    std::uint32_t dstOffset = 0;    //!< offset within destination page
+    std::uint32_t bytes = 0;        //!< transfer size
+    bool interruptRequest = false;  //!< request a receiver notification
+    bool endOfMessage = true;       //!< last chunk of a library message
+};
+
+/** Information handed to the VMMC layer when a packet lands. */
+struct Delivery
+{
+    NodeId srcNode = kInvalidNode;
+    node::Frame frame = node::kInvalidFrame;
+    std::uint32_t offset = 0;
+    std::uint32_t bytes = 0;
+    bool endOfMessage = true;
+    bool automatic = false;   //!< automatic-update traffic
+    bool notify = false;      //!< notification interrupt fired
+};
+
+/**
+ * Base class for node network interfaces.
+ */
+class NicBase
+{
+  public:
+    using DeliverHook = std::function<void(const Delivery &)>;
+    using NotifyHook = std::function<void(node::Frame)>;
+
+    /**
+     * @param n Owning node (the NIC writes arriving data into its
+     *          memory and raises interrupts at its OS).
+     * @param net The backplane.
+     */
+    NicBase(node::Node &n, mesh::Network &net);
+
+    virtual ~NicBase() = default;
+
+    NicBase(const NicBase &) = delete;
+    NicBase &operator=(const NicBase &) = delete;
+
+    /** Node this NIC belongs to. */
+    NodeId nodeId() const { return _node.id(); }
+
+    /** Owning node. */
+    node::Node &owner() { return _node; }
+
+    // ------------------------------------------------------------------
+    // Mapping setup (driven by the VMMC system layer)
+    // ------------------------------------------------------------------
+
+    /** Allocate an OPT entry for an imported (proxy) page. */
+    OptIndex
+    importPage(NodeId dst_node, node::Frame dst_frame)
+    {
+        return _opt.allocate(dst_node, dst_frame);
+    }
+
+    /** Receiver-side interrupt enable bit for an exported page. */
+    void
+    setInterruptEnable(node::Frame frame, bool enable)
+    {
+        _ipt.setInterruptEnable(frame, enable);
+    }
+
+    /** @return whether the adapter supports automatic update. */
+    virtual bool supportsAutomaticUpdate() const = 0;
+
+    /**
+     * Bind local physical page @p local for automatic update to
+     * (@p dst_node, @p dst_frame). Only on adapters that support AU.
+     */
+    virtual void
+    bindAu(node::Frame local, NodeId dst_node, node::Frame dst_frame,
+           bool combining, bool interrupt_request);
+
+    /** Remove an AU binding. */
+    virtual void unbindAu(node::Frame local);
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    /**
+     * Submit a deliberate-update transfer. Process context; blocks
+     * while the adapter's request queue is full. Returns once the
+     * request is accepted (sends are asynchronous).
+     */
+    virtual void submitDeliberate(const DuRequest &req) = 0;
+
+    /**
+     * A write to AU-bound memory, as snooped off the memory bus.
+     * @p src must point into the node's arena. Process context.
+     */
+    virtual void auStore(const void *src, std::uint32_t bytes);
+
+    /**
+     * Flush any open AU packet trains (called at NI-visible ordering
+     * points: blocking operations, synchronization, explicit flush).
+     */
+    virtual void auFlush();
+
+    /**
+     * Flush AU trains and block until every automatic update this
+     * node issued has been applied at its destination. Used by SVM
+     * release operations (AURC/HLRC-AU correctness).
+     */
+    virtual void auFence();
+
+    /** Block until all submitted deliberate transfers have left. */
+    virtual void drainSends() = 0;
+
+    // ------------------------------------------------------------------
+    // Receive side
+    // ------------------------------------------------------------------
+
+    /** Hook invoked (event context) when data lands in memory. */
+    void setDeliverHook(DeliverHook h) { deliverHook = std::move(h); }
+
+    /** Hook invoked when a notification interrupt fires. */
+    void setNotifyHook(NotifyHook h) { notifyHook = std::move(h); }
+
+  protected:
+    node::Node &_node;
+    mesh::Network &_net;
+    OutgoingPageTable _opt;
+    IncomingPageTable _ipt;
+    DeliverHook deliverHook;
+    NotifyHook notifyHook;
+};
+
+} // namespace shrimp::nic
+
+#endif // SHRIMP_NIC_NIC_BASE_HH

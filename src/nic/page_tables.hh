@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The network interface's outgoing and incoming page tables.
+ *
+ * The OPT translates local sources to remote physical pages: imported
+ * proxy pages get explicitly allocated entries (used by deliberate
+ * update), and automatic update uses the one-to-one correspondence
+ * between local physical pages and OPT entries (Sec 2.3).
+ *
+ * The IPT holds per-destination-page receive state, most importantly
+ * the receiver-controlled interrupt-enable bit used by notifications.
+ */
+
+#ifndef SHRIMP_NIC_PAGE_TABLES_HH
+#define SHRIMP_NIC_PAGE_TABLES_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "node/memory.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace shrimp::nic
+{
+
+/** Index of an explicitly allocated OPT entry (proxy page). */
+using OptIndex = std::uint32_t;
+
+/** An invalid OPT index. */
+inline constexpr OptIndex kInvalidOpt = ~OptIndex(0);
+
+/**
+ * One outgoing mapping: where writes/transfers through this entry go.
+ */
+struct OptEntry
+{
+    NodeId dstNode = kInvalidNode;
+    node::Frame dstFrame = node::kInvalidFrame;
+    bool auEnabled = false;        //!< automatic update on this page
+    bool combining = false;        //!< AU combining enabled
+    bool interruptRequest = false; //!< AU packets request an interrupt
+};
+
+/**
+ * Outgoing page table.
+ */
+class OutgoingPageTable
+{
+  public:
+    /** Allocate an entry for an imported proxy page. */
+    OptIndex
+    allocate(NodeId dst_node, node::Frame dst_frame)
+    {
+        proxyEntries.push_back(
+            OptEntry{dst_node, dst_frame, false, false, false});
+        return OptIndex(proxyEntries.size() - 1);
+    }
+
+    /** Look up a proxy entry. */
+    const OptEntry &
+    proxy(OptIndex idx) const
+    {
+        if (idx >= proxyEntries.size())
+            panic("OPT proxy index %u out of range", idx);
+        return proxyEntries[idx];
+    }
+
+    /**
+     * Configure the entry corresponding to local physical page
+     * @p local for automatic update (the 1:1 physical-page binding).
+     */
+    void
+    bindAu(node::Frame local, NodeId dst_node, node::Frame dst_frame,
+           bool combining, bool interrupt_request)
+    {
+        auBindings[local] = OptEntry{dst_node, dst_frame, true,
+                                     combining, interrupt_request};
+    }
+
+    /** Disable automatic update on local page @p local. */
+    void unbindAu(node::Frame local) { auBindings.erase(local); }
+
+    /**
+     * @return the AU binding for local page @p local, or nullptr when
+     * writes to the page are snooped but ignored.
+     */
+    const OptEntry *
+    auBinding(node::Frame local) const
+    {
+        auto it = auBindings.find(local);
+        return it == auBindings.end() ? nullptr : &it->second;
+    }
+
+    /** Number of live AU bindings. */
+    std::size_t auBindingCount() const { return auBindings.size(); }
+
+    /** Number of allocated proxy entries. */
+    std::size_t proxyCount() const { return proxyEntries.size(); }
+
+  private:
+    std::vector<OptEntry> proxyEntries;
+    std::unordered_map<node::Frame, OptEntry> auBindings;
+};
+
+/**
+ * Incoming page table.
+ */
+class IncomingPageTable
+{
+  public:
+    /** Set the receiver-side interrupt-enable bit for @p frame. */
+    void
+    setInterruptEnable(node::Frame frame, bool enable)
+    {
+        if (enable)
+            interruptEnabled.insert(frame);
+        else
+            interruptEnabled.erase(frame);
+    }
+
+    /** @return the receiver-side interrupt-enable bit for @p frame. */
+    bool
+    interruptEnable(node::Frame frame) const
+    {
+        return interruptEnabled.count(frame) > 0;
+    }
+
+  private:
+    std::unordered_set<node::Frame> interruptEnabled;
+};
+
+} // namespace shrimp::nic
+
+#endif // SHRIMP_NIC_PAGE_TABLES_HH

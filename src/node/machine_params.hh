@@ -1,0 +1,142 @@
+/**
+ * @file
+ * All timing constants of the modelled SHRIMP node, in one place.
+ *
+ * Each constant documents the paper-reported figure it is calibrated
+ * against. The node is a DEC 560ST: 60 MHz Pentium, Xpress memory bus,
+ * EISA I/O bus; the SHRIMP NI snoops the memory bus and talks to the
+ * Paragon backplane through the EISA-side board.
+ */
+
+#ifndef SHRIMP_NODE_MACHINE_PARAMS_HH
+#define SHRIMP_NODE_MACHINE_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace shrimp::node
+{
+
+/** Virtual-memory page size; SHRIMP maps and protects at 4 KB. */
+inline constexpr std::uint32_t kPageBytes = 4096;
+
+/** Page number of a byte offset. */
+constexpr std::uint64_t
+pageOf(std::uint64_t addr)
+{
+    return addr / kPageBytes;
+}
+
+/** Offset within a page. */
+constexpr std::uint32_t
+pageOffset(std::uint64_t addr)
+{
+    return std::uint32_t(addr % kPageBytes);
+}
+
+/**
+ * Timing parameters of one node.
+ *
+ * Defaults model the SHRIMP prototype; experiment configs override
+ * individual fields to emulate the paper's what-if designs.
+ */
+struct MachineParams
+{
+    // ------------------------------------------------------------------
+    // Processor
+    // ------------------------------------------------------------------
+
+    /** 60 MHz Pentium. */
+    Tick cpuCycle = nanoseconds(16.667);
+
+    /**
+     * Cost of a cached (write-back) memory reference issued by
+     * application code, charged per access by the SVM access layer.
+     */
+    Tick cachedAccess = nanoseconds(50);
+
+    /**
+     * CPU-driven copy bandwidth (cached load/store loop), used for
+     * library-level gather/scatter and buffer copies.
+     */
+    double cpuCopyBytesPerSec = 40.0e6;
+
+    /**
+     * Write-through store throughput: stores to write-through pages go
+     * to the memory bus where the NI snoops them, one bus transaction
+     * per store. Below the EISA DMA rate, so DU's streaming DMA beats
+     * AU for bulk data (Sec 4.2), yet far above the effective rate of
+     * *uncombined* AU, which pays a header plus a receiver DMA setup
+     * for every store (Sec 4.5.1).
+     */
+    double writeThroughBytesPerSec = 25.0e6;
+
+    // ------------------------------------------------------------------
+    // Memory & I/O buses
+    // ------------------------------------------------------------------
+
+    /**
+     * EISA DMA bandwidth, shared by deliberate-update reads from main
+     * memory and incoming-packet writes into main memory. The EISA bus
+     * is the bandwidth bottleneck of the prototype.
+     */
+    double eisaDmaBytesPerSec = 30.0e6;
+
+    /** Fixed cost to arbitrate for + set up one EISA DMA burst. */
+    Tick eisaDmaSetup = nanoseconds(500);
+
+    /**
+     * The Xpress memory bus grants one master at a time and cannot
+     * cycle-share (Sec 2.1); burst reads by the NI stall the CPU.
+     * This is the bandwidth a bus grant consumes while streaming.
+     */
+    double memBusBytesPerSec = 120.0e6;
+
+    // ------------------------------------------------------------------
+    // Operating system costs
+    // ------------------------------------------------------------------
+
+    /**
+     * Null system call (trap + kernel entry/exit): ~900 cycles on the
+     * 60 MHz Pentium. Table 2 adds one of these (plus driver work)
+     * per message send.
+     */
+    Tick syscallCost = microseconds(15.0);
+
+    /**
+     * Extra kernel-driver work for a kernel-mediated send: protection
+     * check, address translation, buffer handling, DMA programming —
+     * the "thousands of CPU cycles" the paper attributes to
+     * traditional kernel-based network interfaces (Sec 1.1).
+     */
+    Tick kernelSendCost = microseconds(25.0);
+
+    /**
+     * Hardware interrupt entry + dispatch + null handler + return:
+     * over a thousand cycles on the 60 MHz node once the cache damage
+     * is paid. Table 4 forces one of these per arriving message.
+     */
+    Tick interruptCost = microseconds(20.0);
+
+    /**
+     * Delivering a user-level notification: interrupt, system handler
+     * deciding where to deliver, signal-style upcall into the process
+     * (Sec 2.2/4.4).
+     */
+    Tick notificationCost = microseconds(18.0);
+
+    /** Per-page cost to pin/unpin and update mappings at export time. */
+    Tick pagePinCost = microseconds(10.0);
+
+    // ------------------------------------------------------------------
+    // Fiber stacks (simulation, not hardware)
+    // ------------------------------------------------------------------
+
+    /** Stack bytes for application processes. */
+    std::size_t processStackBytes = 1024 * 1024;
+};
+
+} // namespace shrimp::node
+
+#endif // SHRIMP_NODE_MACHINE_PARAMS_HH

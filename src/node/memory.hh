@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A node's physical memory arena.
+ *
+ * Memory that participates in communication (receive buffers, SVM
+ * pages, AU-bound regions) must live in the node's arena so the model
+ * can translate a host pointer to a physical page frame in O(1) — the
+ * same translation the SHRIMP snooping hardware performs with its
+ * one-to-one physical-page / outgoing-page-table correspondence.
+ */
+
+#ifndef SHRIMP_NODE_MEMORY_HH
+#define SHRIMP_NODE_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "node/machine_params.hh"
+#include "sim/logging.hh"
+
+namespace shrimp::node
+{
+
+/** Physical page frame number within one node. */
+using Frame = std::uint32_t;
+
+/** An invalid frame. */
+inline constexpr Frame kInvalidFrame = ~Frame(0);
+
+/**
+ * Bump-allocated, page-granular physical memory for one node.
+ */
+class NodeMemory
+{
+  public:
+    /**
+     * @param bytes Arena capacity; rounded up to whole pages.
+     */
+    explicit NodeMemory(std::size_t bytes)
+        : arena((bytes + kPageBytes - 1) / kPageBytes * kPageBytes)
+    {
+    }
+
+    NodeMemory(const NodeMemory &) = delete;
+    NodeMemory &operator=(const NodeMemory &) = delete;
+
+    /**
+     * Allocate @p bytes, page-aligned when @p page_aligned (default:
+     * 8-byte aligned). Allocation is permanent for the run.
+     */
+    void *
+    alloc(std::size_t bytes, bool page_aligned = false)
+    {
+        std::size_t align = page_aligned ? kPageBytes : 8;
+        std::size_t start = (used + align - 1) / align * align;
+        if (start + bytes > arena.size())
+            fatal("node memory arena exhausted (%zu + %zu > %zu)",
+                  start, bytes, arena.size());
+        used = start + bytes;
+        return arena.data() + start;
+    }
+
+    /** Allocate an array of @p n T's. */
+    template <typename T>
+    T *
+    allocArray(std::size_t n, bool page_aligned = false)
+    {
+        return static_cast<T *>(alloc(n * sizeof(T), page_aligned));
+    }
+
+    /** @return true if @p p points into the arena. */
+    bool
+    contains(const void *p) const
+    {
+        auto c = static_cast<const char *>(p);
+        return c >= arena.data() && c < arena.data() + arena.size();
+    }
+
+    /** Physical frame of an arena pointer. */
+    Frame
+    frameOf(const void *p) const
+    {
+        if (!contains(p))
+            panic("frameOf: pointer not in this node's arena");
+        return Frame((static_cast<const char *>(p) - arena.data()) /
+                     kPageBytes);
+    }
+
+    /** Byte offset of an arena pointer from the arena base. */
+    std::uint64_t
+    offsetOf(const void *p) const
+    {
+        if (!contains(p))
+            panic("offsetOf: pointer not in this node's arena");
+        return std::uint64_t(static_cast<const char *>(p) - arena.data());
+    }
+
+    /** Host pointer for a (frame, offset) physical address. */
+    void *
+    ptrOf(Frame frame, std::uint32_t offset = 0)
+    {
+        std::size_t addr = std::size_t(frame) * kPageBytes + offset;
+        if (addr >= arena.size())
+            panic("ptrOf: frame %u out of range", frame);
+        return arena.data() + addr;
+    }
+
+    /** Number of page frames in the arena. */
+    Frame frameCount() const { return Frame(arena.size() / kPageBytes); }
+
+    /** Bytes currently allocated. */
+    std::size_t usedBytes() const { return used; }
+
+  private:
+    std::vector<char> arena;
+    std::size_t used = 0;
+};
+
+} // namespace shrimp::node
+
+#endif // SHRIMP_NODE_MEMORY_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Composition of one SHRIMP node: memory arena, memory bus, CPU, OS.
+ *
+ * The network interface is attached by the cluster builder (core/)
+ * after construction, to keep the dependency direction nic -> node.
+ */
+
+#ifndef SHRIMP_NODE_NODE_HH
+#define SHRIMP_NODE_NODE_HH
+
+#include <memory>
+#include <string>
+
+#include "node/cpu.hh"
+#include "node/machine_params.hh"
+#include "node/memory.hh"
+#include "node/memory_bus.hh"
+#include "node/os.hh"
+#include "sim/simulation.hh"
+
+namespace shrimp::node
+{
+
+/**
+ * One compute node of the cluster.
+ */
+class Node
+{
+  public:
+    /**
+     * @param sim Owning simulation.
+     * @param id Node id within the cluster.
+     * @param params Timing parameters (copied; per-node overrides OK).
+     * @param mem_bytes Physical arena size.
+     */
+    Node(Simulation &sim, NodeId id, const MachineParams &params,
+         std::size_t mem_bytes)
+        : sim(sim), _id(id), _params(params),
+          _name("node" + std::to_string(id)),
+          _mem(mem_bytes),
+          _bus(sim, _name),
+          _cpu(sim, _params, _name),
+          _os(sim, _cpu, _params, _name)
+    {
+    }
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    NodeId id() const { return _id; }
+    const std::string &name() const { return _name; }
+    const MachineParams &params() const { return _params; }
+
+    NodeMemory &mem() { return _mem; }
+    MemoryBus &bus() { return _bus; }
+    Cpu &cpu() { return _cpu; }
+    Os &os() { return _os; }
+    Simulation &simulation() { return sim; }
+
+    /**
+     * Spawn an application process bound to this node, named
+     * "<node>.<name>", with the configured stack size.
+     */
+    Process *
+    spawnProcess(const std::string &name, std::function<void()> body)
+    {
+        return sim.spawn(_name + "." + name, std::move(body),
+                         _params.processStackBytes);
+    }
+
+  private:
+    Simulation &sim;
+    NodeId _id;
+    MachineParams _params;
+    std::string _name;
+    NodeMemory _mem;
+    MemoryBus _bus;
+    Cpu _cpu;
+    Os _os;
+};
+
+} // namespace shrimp::node
+
+#endif // SHRIMP_NODE_NODE_HH

@@ -1,0 +1,68 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+void
+EventQueue::schedule(Tick delay, std::function<void()> fn)
+{
+    scheduleAt(_now + delay, std::move(fn));
+}
+
+void
+EventQueue::scheduleAt(Tick when, std::function<void()> fn)
+{
+    if (when < _now)
+        panic("scheduling an event in the past");
+    events.push(Event{when, nextSeq++, std::move(fn), nullptr});
+}
+
+EventHandle
+EventQueue::scheduleCancellable(Tick delay, std::function<void()> fn)
+{
+    auto flag = std::make_shared<bool>(false);
+    events.push(Event{_now + delay, nextSeq++, std::move(fn), flag});
+    return EventHandle(flag);
+}
+
+bool
+EventQueue::step()
+{
+    while (!events.empty()) {
+        // priority_queue::top is const; move out via const_cast, which
+        // is safe because we pop immediately after.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        if (ev.cancelled && *ev.cancelled)
+            continue;
+        _now = ev.when;
+        ++_executed;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+bool
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty()) {
+        if (events.top().when > limit) {
+            _now = limit;
+            return false;
+        }
+        step();
+    }
+    return true;
+}
+
+} // namespace shrimp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are (tick, sequence) ordered; the sequence number makes
+ * same-tick ordering deterministic (FIFO in scheduling order).
+ */
+
+#ifndef SHRIMP_SIM_EVENT_QUEUE_HH
+#define SHRIMP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/**
+ * Handle for a scheduled event, allowing cancellation.
+ *
+ * Default-constructed handles are inert. Cancelling an already-fired
+ * event is a no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent the event from firing; idempotent. */
+    void
+    cancel()
+    {
+        if (cancelled)
+            *cancelled = true;
+    }
+
+    /** @return true if this handle refers to a real event. */
+    bool valid() const { return bool(cancelled); }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<bool> flag)
+        : cancelled(std::move(flag))
+    {}
+
+    std::shared_ptr<bool> cancelled;
+};
+
+/**
+ * A time-ordered queue of callbacks.
+ */
+class EventQueue
+{
+  public:
+    /** @return the current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void schedule(Tick delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void scheduleAt(Tick when, std::function<void()> fn);
+
+    /** Like scheduleAt, but returns a handle usable to cancel. */
+    EventHandle scheduleCancellable(Tick delay, std::function<void()> fn);
+
+    /** @return true if no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /**
+     * Run the next event; advances time to its timestamp.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run until simulated time would exceed @p limit. Events exactly at
+     * @p limit still run. @return true if the queue drained.
+     */
+    bool runUntil(Tick limit);
+
+    /** Total events executed (for reporting/debug). */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<bool> cancelled;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_EVENT_QUEUE_HH

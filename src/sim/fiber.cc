@@ -1,0 +1,79 @@
+#include "sim/fiber.hh"
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+thread_local Fiber *Fiber::current_fiber = nullptr;
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body(std::move(body)), stack(stack_bytes)
+{
+    if (getcontext(&fiberCtx) != 0)
+        panic("getcontext failed");
+    fiberCtx.uc_stack.ss_sp = stack.data();
+    fiberCtx.uc_stack.ss_size = stack.size();
+    fiberCtx.uc_link = nullptr;
+
+    // makecontext only passes ints, so split the pointer into two.
+    auto self = std::uintptr_t(this);
+    unsigned hi = unsigned(self >> 32);
+    unsigned lo = unsigned(self & 0xffffffffu);
+    makecontext(&fiberCtx, reinterpret_cast<void (*)()>(trampoline),
+                2, hi, lo);
+}
+
+Fiber::~Fiber()
+{
+    if (running)
+        panic("destroying a fiber that is still running");
+}
+
+void
+Fiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto self = reinterpret_cast<Fiber *>(
+        (std::uintptr_t(hi) << 32) | std::uintptr_t(lo));
+    self->run();
+}
+
+void
+Fiber::run()
+{
+    body();
+    _finished = true;
+    running = false;
+    current_fiber = nullptr;
+    // Return to whoever resumed us; this context is never re-entered.
+    swapcontext(&fiberCtx, &schedulerCtx);
+    panic("finished fiber resumed");
+}
+
+void
+Fiber::resume()
+{
+    if (_finished)
+        panic("resuming a finished fiber");
+    if (current_fiber)
+        panic("resume must be called from the scheduler context");
+    current_fiber = this;
+    running = true;
+    swapcontext(&schedulerCtx, &fiberCtx);
+}
+
+void
+Fiber::yield()
+{
+    if (current_fiber != this)
+        panic("yield called from outside the fiber");
+    current_fiber = nullptr;
+    running = false;
+    swapcontext(&fiberCtx, &schedulerCtx);
+    current_fiber = this;
+    running = true;
+}
+
+} // namespace shrimp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A minimal cooperative fiber built on POSIX ucontext.
+ *
+ * Fibers let simulated processes run ordinary, blocking-style C++ code:
+ * a blocking simulator call swaps back to the scheduler context and is
+ * later resumed from an event callback. Everything is single-threaded
+ * and deterministic.
+ */
+
+#ifndef SHRIMP_SIM_FIBER_HH
+#define SHRIMP_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace shrimp
+{
+
+/**
+ * One cooperative execution context with its own stack.
+ *
+ * The fiber starts suspended; each resume() runs it until it either
+ * calls yield() or its body returns. resume() must only be called from
+ * the owning (scheduler) context, and yield() only from inside the
+ * fiber body.
+ */
+class Fiber
+{
+  public:
+    /** Default stack size: deep octree recursion needs real stacks. */
+    static constexpr std::size_t kDefaultStackBytes = 512 * 1024;
+
+    /**
+     * Create a fiber that will run @p body when first resumed.
+     *
+     * @param body The code to run on the fiber.
+     * @param stack_bytes Stack size for the fiber.
+     */
+    explicit Fiber(std::function<void()> body,
+                   std::size_t stack_bytes = kDefaultStackBytes);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Switch from the scheduler context into the fiber. */
+    void resume();
+
+    /** Switch from inside the fiber back to the scheduler context. */
+    void yield();
+
+    /** @return true once the fiber body has returned. */
+    bool finished() const { return _finished; }
+
+    /** @return the fiber currently executing, or nullptr. */
+    static Fiber *current() { return current_fiber; }
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+
+    void run();
+
+    std::function<void()> body;
+    std::vector<char> stack;
+    ucontext_t fiberCtx;
+    ucontext_t schedulerCtx;
+    bool _finished = false;
+    bool running = false;
+
+    static thread_local Fiber *current_fiber;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_FIBER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * The simulator must be reproducible run-to-run, so all randomness
+ * flows through explicitly seeded Random instances; std::rand and
+ * std::random_device are never used.
+ */
+
+#ifndef SHRIMP_SIM_RANDOM_HH
+#define SHRIMP_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace shrimp
+{
+
+/**
+ * xoshiro256** generator with SplitMix64 seeding.
+ */
+class Random
+{
+  public:
+    /** Construct with a seed; the same seed yields the same stream. */
+    explicit Random(std::uint64_t seed = 0x5eed5eed5eedULL)
+    {
+        // SplitMix64 to spread the seed across the state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Bias is negligible for our bounds (<< 2^64).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + std::int64_t(below(std::uint64_t(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_RANDOM_HH

@@ -1,0 +1,163 @@
+#include "sim/simulation.hh"
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+namespace
+{
+
+/// Stack of live simulations; tests may nest construction.
+std::vector<Simulation *> live_simulations;
+
+} // anonymous namespace
+
+Process::Process(Simulation &sim, std::string name,
+                 std::function<void()> body, std::size_t stack_bytes)
+    : sim(sim), _name(std::move(name)),
+      fiber(std::move(body), stack_bytes)
+{
+}
+
+void
+WaitQueue::wait(Simulation &sim)
+{
+    Process *p = sim.current();
+    if (!p)
+        panic("WaitQueue::wait outside a process");
+    waiters.push_back(p);
+    sim.suspend();
+}
+
+bool
+WaitQueue::wakeOne(Simulation &sim)
+{
+    if (waiters.empty())
+        return false;
+    Process *p = waiters.front();
+    waiters.pop_front();
+    sim.wake(p);
+    return true;
+}
+
+std::size_t
+WaitQueue::wakeAll(Simulation &sim)
+{
+    std::size_t n = waiters.size();
+    while (wakeOne(sim)) {
+    }
+    return n;
+}
+
+Simulation::Simulation()
+{
+    live_simulations.push_back(this);
+}
+
+Simulation::~Simulation()
+{
+    if (live_simulations.empty() || live_simulations.back() != this)
+        warn("simulations destroyed out of construction order");
+    else
+        live_simulations.pop_back();
+}
+
+Simulation *
+Simulation::currentOrNull()
+{
+    return live_simulations.empty() ? nullptr : live_simulations.back();
+}
+
+std::vector<std::string>
+Simulation::unfinishedProcesses() const
+{
+    std::vector<std::string> names;
+    for (const auto &p : processes) {
+        if (!p->finished())
+            names.push_back(p->name());
+    }
+    return names;
+}
+
+Process *
+Simulation::spawn(std::string name, std::function<void()> body,
+                  std::size_t stack_bytes)
+{
+    auto proc = std::unique_ptr<Process>(
+        new Process(*this, std::move(name), std::move(body), stack_bytes));
+    Process *p = proc.get();
+    processes.push_back(std::move(proc));
+    p->state = Process::State::Suspended;
+    p->resumeScheduled = true;
+    schedule(0, [this, p] {
+        p->resumeScheduled = false;
+        if (p->state == Process::State::Suspended)
+            resumeProcess(p);
+    });
+    return p;
+}
+
+void
+Simulation::delay(Tick d)
+{
+    Process *p = _current;
+    if (!p)
+        panic("delay called outside a process");
+    schedule(d, [this, p] { wake(p); });
+    suspend();
+}
+
+void
+Simulation::suspend()
+{
+    Process *p = _current;
+    if (!p)
+        panic("suspend called outside a process");
+    if (p->wakePending) {
+        p->wakePending = false;
+        return;
+    }
+    p->state = Process::State::Suspended;
+    _current = nullptr;
+    p->fiber.yield();
+    // Resumed.
+    _current = p;
+    p->state = Process::State::Running;
+}
+
+void
+Simulation::wake(Process *p)
+{
+    if (!p || p->finished())
+        return;
+    if (p->state == Process::State::Running) {
+        p->wakePending = true;
+        return;
+    }
+    if (p->resumeScheduled)
+        return;
+    p->resumeScheduled = true;
+    schedule(0, [this, p] {
+        p->resumeScheduled = false;
+        if (p->state == Process::State::Suspended)
+            resumeProcess(p);
+    });
+}
+
+void
+Simulation::resumeProcess(Process *p)
+{
+    if (_current)
+        panic("resumeProcess while another process is running");
+    _current = p;
+    p->state = Process::State::Running;
+    p->fiber.resume();
+    // The fiber either yielded (suspend updated the state already) or
+    // finished.
+    if (p->fiber.finished())
+        p->state = Process::State::Finished;
+    _current = nullptr;
+}
+
+} // namespace shrimp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The simulation kernel: event queue + fiber-based processes.
+ *
+ * A Simulation owns the clock, the event queue, the process table, the
+ * statistics registry and the RNG. Simulated code runs on fibers and
+ * blocks by suspending; hardware models run as plain event callbacks.
+ */
+
+#ifndef SHRIMP_SIM_SIMULATION_HH
+#define SHRIMP_SIM_SIMULATION_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+class Simulation;
+
+/**
+ * A simulated thread of control running on a fiber.
+ *
+ * Created via Simulation::spawn(). Application/model code inside the
+ * process blocks through Simulation::delay()/suspend() and is resumed
+ * by events or Simulation::wake().
+ */
+class Process
+{
+  public:
+    const std::string &name() const { return _name; }
+    bool finished() const { return fiber.finished(); }
+    bool suspended() const { return state == State::Suspended; }
+
+  private:
+    friend class Simulation;
+
+    enum class State { Created, Running, Suspended, Finished };
+
+    Process(Simulation &sim, std::string name, std::function<void()> body,
+            std::size_t stack_bytes);
+
+    Simulation &sim;
+    std::string _name;
+    Fiber fiber;
+    State state = State::Created;
+    bool wakePending = false;
+    bool resumeScheduled = false;
+};
+
+/**
+ * FIFO queue of blocked processes; the building block for all
+ * higher-level synchronization (bus arbitration, message waits, locks).
+ */
+class WaitQueue
+{
+  public:
+    /** Block the calling process until woken. */
+    void wait(Simulation &sim);
+
+    /** Wake the longest-waiting process, if any. @return woken? */
+    bool wakeOne(Simulation &sim);
+
+    /** Wake every waiting process. @return how many. */
+    std::size_t wakeAll(Simulation &sim);
+
+    bool empty() const { return waiters.empty(); }
+    std::size_t size() const { return waiters.size(); }
+
+  private:
+    std::deque<Process *> waiters;
+};
+
+/**
+ * The simulation kernel.
+ */
+class Simulation
+{
+  public:
+    Simulation();
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** @return current simulated time. */
+    Tick now() const { return queue.now(); }
+
+    /** Schedule a plain callback @p delay from now. */
+    void
+    schedule(Tick delay, std::function<void()> fn)
+    {
+        queue.schedule(delay, std::move(fn));
+    }
+
+    /** Schedule a cancellable callback @p delay from now. */
+    EventHandle
+    scheduleCancellable(Tick delay, std::function<void()> fn)
+    {
+        return queue.scheduleCancellable(delay, std::move(fn));
+    }
+
+    /**
+     * Create a process that starts running at the current time.
+     *
+     * @param name Debug/stat name for the process.
+     * @param body Code to run; returning ends the process.
+     * @param stack_bytes Fiber stack size.
+     * @return a handle valid for the simulation's lifetime.
+     */
+    Process *spawn(std::string name, std::function<void()> body,
+                   std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+    /** @return the process currently executing, or nullptr. */
+    Process *current() const { return _current; }
+
+    /** Block the calling process for @p d ticks. */
+    void delay(Tick d);
+
+    /** Block the calling process until woken via wake(). */
+    void suspend();
+
+    /** Make @p p runnable again (idempotent while pending). */
+    void wake(Process *p);
+
+    /** Run events until the queue drains. */
+    void run() { queue.run(); }
+
+    /** Run until @p limit; @return true if the queue drained. */
+    bool runUntil(Tick limit) { return queue.runUntil(limit); }
+
+    /** Execute a single event. */
+    bool step() { return queue.step(); }
+
+    /** Deterministic RNG shared by models. */
+    Random &rng() { return _rng; }
+
+    /** Statistics registry. */
+    StatsRegistry &stats() { return _stats; }
+
+    /** Raw queue access (tests and models needing cancellation). */
+    EventQueue &events() { return queue; }
+
+    /** Innermost live Simulation, or nullptr (used by tracing). */
+    static Simulation *currentOrNull();
+
+    /**
+     * Names of processes that have not finished — after run() drains
+     * the queue, these are deadlocked (blocked with no pending event).
+     */
+    std::vector<std::string> unfinishedProcesses() const;
+
+  private:
+    void resumeProcess(Process *p);
+
+    EventQueue queue;
+    Random _rng;
+    StatsRegistry _stats;
+    std::vector<std::unique_ptr<Process>> processes;
+    Process *_current = nullptr;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_SIMULATION_HH

@@ -1,0 +1,43 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace shrimp
+{
+
+std::uint64_t
+StatsRegistry::sumCounters(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters.lower_bound(prefix); it != counters.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second.value();
+    }
+    return total;
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+    for (auto &kv : accumulators)
+        kv.second.reset();
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : accumulators) {
+        const auto &a = kv.second;
+        os << kv.first << " count=" << a.count() << " sum=" << a.sum()
+           << " mean=" << a.mean() << " min=" << a.min()
+           << " max=" << a.max() << "\n";
+    }
+}
+
+} // namespace shrimp

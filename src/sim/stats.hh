@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A small statistics package: named counters, scalars and histograms
+ * collected in a registry and dumpable in a stable, sorted format.
+ */
+
+#ifndef SHRIMP_SIM_STATS_HH
+#define SHRIMP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shrimp
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { _value += n; }
+    std::uint64_t value() const { return _value; }
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running scalar accumulator with min/max/mean. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        if (_count == 1 || v < _min)
+            _min = v;
+        if (_count == 1 || v > _max)
+            _max = v;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _min = _max = 0.0;
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Flat registry of named statistics.
+ *
+ * Names are hierarchical by convention ("node3.nic.packets_in").
+ * Lookup creates on first use, so instrumentation sites stay terse.
+ */
+class StatsRegistry
+{
+  public:
+    /** Get (or create) the counter called @p name. */
+    Counter &counter(const std::string &name) { return counters[name]; }
+
+    /** Get (or create) the accumulator called @p name. */
+    Accumulator &
+    accumulator(const std::string &name)
+    {
+        return accumulators[name];
+    }
+
+    /** @return the counter value, or 0 if never touched. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second.value();
+    }
+
+    /** Sum of all counters whose name begins with @p prefix. */
+    std::uint64_t sumCounters(const std::string &prefix) const;
+
+    /** Reset every statistic to zero. */
+    void reset();
+
+    /** Write all statistics, sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Accumulator> accumulators;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_STATS_HH

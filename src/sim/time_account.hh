@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Per-process execution-time breakdown, the instrumentation behind the
+ * paper's Figure 4 stacked bars (computation / communication / lock /
+ * barrier / overhead).
+ */
+
+#ifndef SHRIMP_SIM_TIME_ACCOUNT_HH
+#define SHRIMP_SIM_TIME_ACCOUNT_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+/** Where a process's time is going. */
+enum class TimeCategory : std::size_t
+{
+    Compute = 0,    //!< application computation
+    Communication,  //!< waiting for / moving data
+    Lock,           //!< lock acquisition waits
+    Barrier,        //!< barrier waits
+    Overhead,       //!< protocol work (diff creation, twins, handlers)
+    kCount,
+};
+
+/** Printable name of a category. */
+inline const char *
+timeCategoryName(TimeCategory c)
+{
+    static const char *names[] = {
+        "Computation", "Communication", "Lock", "Barrier", "Overhead",
+    };
+    return names[std::size_t(c)];
+}
+
+/**
+ * Attributes all elapsed simulated time of one process to the
+ * currently selected category. Category switches read the clock from
+ * the innermost live Simulation.
+ */
+class TimeAccount
+{
+  public:
+    /** Begin accounting now, in the Compute category. */
+    void
+    start()
+    {
+        last = now();
+        current = TimeCategory::Compute;
+    }
+
+    /** Switch category, attributing the elapsed slice to the old one. */
+    void
+    switchTo(TimeCategory c)
+    {
+        Tick t = now();
+        buckets[std::size_t(current)] += t - last;
+        last = t;
+        current = c;
+    }
+
+    /** Close out the final slice. */
+    void stop() { switchTo(current); }
+
+    /** Accumulated time in @p c. */
+    Tick
+    total(TimeCategory c) const
+    {
+        return buckets[std::size_t(c)];
+    }
+
+    /** Sum over all categories. */
+    Tick
+    grandTotal() const
+    {
+        Tick t = 0;
+        for (auto b : buckets)
+            t += b;
+        return t;
+    }
+
+    /** Currently active category. */
+    TimeCategory category() const { return current; }
+
+    /** Merge another account into this one (for cluster-wide means). */
+    void
+    merge(const TimeAccount &o)
+    {
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            buckets[i] += o.buckets[i];
+    }
+
+  private:
+    static Tick
+    now()
+    {
+        Simulation *s = Simulation::currentOrNull();
+        return s ? s->now() : 0;
+    }
+
+    std::array<Tick, std::size_t(TimeCategory::kCount)> buckets{};
+    TimeCategory current = TimeCategory::Compute;
+    Tick last = 0;
+};
+
+/**
+ * RAII category switch: enters @p c on construction, restores the
+ * previous category on destruction. A null account is a no-op, so
+ * instrumented code paths work outside accounted processes too.
+ */
+class ScopedCategory
+{
+  public:
+    ScopedCategory(TimeAccount *account, TimeCategory c) : account(account)
+    {
+        if (account) {
+            saved = account->category();
+            account->switchTo(c);
+        }
+    }
+
+    ~ScopedCategory()
+    {
+        if (account)
+            account->switchTo(saved);
+    }
+
+    ScopedCategory(const ScopedCategory &) = delete;
+    ScopedCategory &operator=(const ScopedCategory &) = delete;
+
+  private:
+    TimeAccount *account;
+    TimeCategory saved = TimeCategory::Compute;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_TIME_ACCOUNT_HH

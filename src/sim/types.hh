@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fundamental simulation types and time-unit helpers.
+ *
+ * The simulator counts time in integer picoseconds so that a 60 MHz CPU
+ * cycle (16666 ps) and network serialization delays can be represented
+ * exactly without floating-point drift.
+ */
+
+#ifndef SHRIMP_SIM_TYPES_HH
+#define SHRIMP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace shrimp
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** An invalid/unset tick value. */
+inline constexpr Tick kTickNever = ~Tick(0);
+
+inline constexpr Tick kPsPerNs = 1000ULL;
+inline constexpr Tick kPsPerUs = 1000ULL * kPsPerNs;
+inline constexpr Tick kPsPerMs = 1000ULL * kPsPerUs;
+inline constexpr Tick kPsPerSec = 1000ULL * kPsPerMs;
+
+/** Convert a nanosecond count to ticks. */
+constexpr Tick
+nanoseconds(double ns)
+{
+    return Tick(ns * double(kPsPerNs) + 0.5);
+}
+
+/** Convert a microsecond count to ticks. */
+constexpr Tick
+microseconds(double us)
+{
+    return Tick(us * double(kPsPerUs) + 0.5);
+}
+
+/** Convert a millisecond count to ticks. */
+constexpr Tick
+milliseconds(double ms)
+{
+    return Tick(ms * double(kPsPerMs) + 0.5);
+}
+
+/** Convert a second count to ticks. */
+constexpr Tick
+seconds(double s)
+{
+    return Tick(s * double(kPsPerSec) + 0.5);
+}
+
+/** Convert ticks to (floating point) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return double(t) / double(kPsPerSec);
+}
+
+/** Convert ticks to (floating point) microseconds. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return double(t) / double(kPsPerUs);
+}
+
+/** Convert ticks to (floating point) nanoseconds. */
+constexpr double
+toNanoseconds(Tick t)
+{
+    return double(t) / double(kPsPerNs);
+}
+
+/**
+ * Time it takes to move @p bytes at @p bytes_per_sec, rounded up to a
+ * whole picosecond. A zero bandwidth is treated as infinitely fast.
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes_per_sec <= 0.0)
+        return 0;
+    return Tick(double(bytes) / bytes_per_sec * double(kPsPerSec) + 0.5);
+}
+
+/** Node identifier within a cluster. */
+using NodeId = std::uint32_t;
+
+/** An invalid node id. */
+inline constexpr NodeId kInvalidNode = ~NodeId(0);
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_TYPES_HH

@@ -1,0 +1,64 @@
+#include "svm/diff.hh"
+
+#include <cstring>
+
+#include "node/machine_params.hh"
+#include "sim/logging.hh"
+
+namespace shrimp::svm
+{
+
+std::vector<char>
+encodeDiff(const char *twin, const char *cur)
+{
+    std::vector<char> blob;
+    const std::uint32_t kWord = 4;
+    std::uint32_t i = 0;
+    while (i < node::kPageBytes) {
+        if (std::memcmp(twin + i, cur + i, kWord) == 0) {
+            i += kWord;
+            continue;
+        }
+        std::uint32_t start = i;
+        while (i < node::kPageBytes &&
+               std::memcmp(twin + i, cur + i, kWord) != 0)
+            i += kWord;
+        DiffRun run{start, i - start};
+        auto *p = reinterpret_cast<const char *>(&run);
+        blob.insert(blob.end(), p, p + sizeof(run));
+        blob.insert(blob.end(), cur + start, cur + i);
+    }
+    return blob;
+}
+
+void
+applyDiffBlob(char *page, const char *blob, std::size_t bytes)
+{
+    std::size_t pos = 0;
+    while (pos + sizeof(DiffRun) <= bytes) {
+        DiffRun run;
+        std::memcpy(&run, blob + pos, sizeof(run));
+        pos += sizeof(run);
+        if (run.offset + run.length > node::kPageBytes ||
+            pos + run.length > bytes)
+            panic("corrupt diff blob");
+        std::memcpy(page + run.offset, blob + pos, run.length);
+        pos += run.length;
+    }
+}
+
+std::size_t
+diffDataBytes(const char *blob, std::size_t bytes)
+{
+    std::size_t total = 0;
+    std::size_t pos = 0;
+    while (pos + sizeof(DiffRun) <= bytes) {
+        DiffRun run;
+        std::memcpy(&run, blob + pos, sizeof(run));
+        pos += sizeof(run) + run.length;
+        total += run.length;
+    }
+    return total;
+}
+
+} // namespace shrimp::svm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Twin/diff encoding for home-based lazy release consistency.
+ *
+ * A diff is the word-granularity delta between a page and its twin,
+ * encoded as (offset, length, bytes) runs. Diffs apply independently
+ * and compose left-to-right, which the protocol relies on when a
+ * page's pending diffs are captured in several pieces.
+ */
+
+#ifndef SHRIMP_SVM_DIFF_HH
+#define SHRIMP_SVM_DIFF_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace shrimp::svm
+{
+
+/** Header of one diff run; followed by `length` bytes of data. */
+struct DiffRun
+{
+    std::uint32_t offset;
+    std::uint32_t length;
+};
+
+/**
+ * Encode the word-granularity differences of one page.
+ *
+ * @param twin The page's pristine copy (page-sized).
+ * @param cur The current contents (page-sized).
+ * @return the encoded run blob; empty when the copies are identical.
+ */
+std::vector<char> encodeDiff(const char *twin, const char *cur);
+
+/**
+ * Apply an encoded diff blob to @p page.
+ *
+ * panics on a malformed blob (run overflowing the page or the blob).
+ */
+void applyDiffBlob(char *page, const char *blob, std::size_t bytes);
+
+/** Total payload bytes a blob writes (sum of run lengths). */
+std::size_t diffDataBytes(const char *blob, std::size_t bytes);
+
+} // namespace shrimp::svm
+
+#endif // SHRIMP_SVM_DIFF_HH

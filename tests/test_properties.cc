@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Property-based sweeps (parameterized gtest): invariants that must
+ * hold across whole families of inputs — mesh routing, diff codec
+ * round trips, VMMC transfers at arbitrary sizes/offsets, stream
+ * framing under arbitrary chunking, radix correctness across
+ * geometries, and kernel determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "apps/radix.hh"
+#include "core/vmmc.hh"
+#include "mesh/topology.hh"
+#include "sim/random.hh"
+#include "sockets/socket.hh"
+#include "svm/diff.hh"
+
+using namespace shrimp;
+
+// ---------------------------------------------------------------------
+// Mesh routing properties across geometries
+// ---------------------------------------------------------------------
+
+class MeshGeometry
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshGeometry, RoutesAreMinimalAndDimensionOrdered)
+{
+    auto [w, h] = GetParam();
+    mesh::Topology t(w, h);
+    for (NodeId a = 0; a < NodeId(t.nodeCount()); ++a) {
+        for (NodeId b = 0; b < NodeId(t.nodeCount()); ++b) {
+            auto path = t.route(a, b);
+            // Minimality: path length equals the Manhattan distance.
+            ASSERT_EQ(int(path.size()), t.hops(a, b))
+                << a << "->" << b;
+            // Dimension order: no +-x link may follow a +-y link.
+            bool seen_y = false;
+            for (int link : path) {
+                int dir = link % mesh::Topology::kDirections;
+                bool is_y = dir >= 2;
+                ASSERT_FALSE(!is_y && seen_y)
+                    << "x-link after y-link on " << a << "->" << b;
+                seen_y = seen_y || is_y;
+            }
+        }
+    }
+}
+
+TEST_P(MeshGeometry, IdCoordinateBijection)
+{
+    auto [w, h] = GetParam();
+    mesh::Topology t(w, h);
+    for (NodeId id = 0; id < NodeId(t.nodeCount()); ++id) {
+        auto c = t.coordOf(id);
+        ASSERT_GE(c.x, 0);
+        ASSERT_LT(c.x, w);
+        ASSERT_GE(c.y, 0);
+        ASSERT_LT(c.y, h);
+        ASSERT_EQ(t.idOf(c), id);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MeshGeometry,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(4, 4),
+                      std::make_pair(8, 2), std::make_pair(2, 8),
+                      std::make_pair(5, 3), std::make_pair(16, 1)));
+
+// ---------------------------------------------------------------------
+// Diff codec properties
+// ---------------------------------------------------------------------
+
+class DiffCodec : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DiffCodec, RoundTripReconstructsThePage)
+{
+    Random rng(GetParam());
+    std::vector<char> twin(node::kPageBytes);
+    for (auto &b : twin)
+        b = char(rng.next());
+    std::vector<char> cur = twin;
+
+    // Mutate a random set of word-aligned spans.
+    int mutations = int(rng.below(40));
+    for (int m = 0; m < mutations; ++m) {
+        std::size_t off = rng.below(node::kPageBytes / 4) * 4;
+        std::size_t len =
+            std::min<std::size_t>(4 * (1 + rng.below(64)),
+                                  node::kPageBytes - off);
+        for (std::size_t i = 0; i < len; ++i)
+            cur[off + i] = char(rng.next());
+    }
+
+    auto blob = svm::encodeDiff(twin.data(), cur.data());
+    std::vector<char> rebuilt = twin;
+    svm::applyDiffBlob(rebuilt.data(), blob.data(), blob.size());
+    EXPECT_EQ(rebuilt, cur);
+
+    // The diff never writes more bytes than differ (word-rounded).
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < node::kPageBytes; i += 4)
+        if (std::memcmp(&twin[i], &cur[i], 4) != 0)
+            differing += 4;
+    EXPECT_EQ(svm::diffDataBytes(blob.data(), blob.size()), differing);
+}
+
+TEST_P(DiffCodec, IdenticalPagesEncodeEmpty)
+{
+    Random rng(GetParam());
+    std::vector<char> page(node::kPageBytes);
+    for (auto &b : page)
+        b = char(rng.next());
+    auto blob = svm::encodeDiff(page.data(), page.data());
+    EXPECT_TRUE(blob.empty());
+}
+
+TEST_P(DiffCodec, DisjointDiffsComposeEitherOrder)
+{
+    // Two diffs touching disjoint words must commute — the property
+    // the home relies on when false-sharing writers merge.
+    Random rng(GetParam() * 7 + 1);
+    std::vector<char> base(node::kPageBytes, 0);
+    std::vector<char> a = base, b = base;
+    for (std::size_t i = 0; i < node::kPageBytes / 4; ++i) {
+        if (rng.chance(0.1))
+            a[i * 4] = char(1 + rng.below(255));
+        else if (rng.chance(0.1))
+            b[i * 4 + 1] = char(1 + rng.below(255));
+    }
+    auto da = svm::encodeDiff(base.data(), a.data());
+    auto db = svm::encodeDiff(base.data(), b.data());
+
+    std::vector<char> ab = base, ba = base;
+    svm::applyDiffBlob(ab.data(), da.data(), da.size());
+    svm::applyDiffBlob(ab.data(), db.data(), db.size());
+    svm::applyDiffBlob(ba.data(), db.data(), db.size());
+    svm::applyDiffBlob(ba.data(), da.data(), da.size());
+    EXPECT_EQ(ab, ba);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffCodec,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------
+// VMMC transfer properties: arbitrary sizes and offsets
+// ---------------------------------------------------------------------
+
+class VmmcTransfer : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(VmmcTransfer, ArbitrarySizesAndOffsetsArriveIntact)
+{
+    Random rng(GetParam());
+    core::Cluster c;
+    const std::size_t kBuf = 64 * 1024;
+    char *rbuf = static_cast<char *>(c.node(1).mem().alloc(kBuf, true));
+    std::memset(rbuf, 0, kBuf);
+    std::vector<char> shadow(kBuf, 0);
+    core::ExportId exp = core::kInvalidExport;
+    int done = 0;
+
+    c.spawnOn(1, "recv", [&] {
+        exp = c.vmmc(1).exportBuffer(rbuf, kBuf);
+        c.vmmc(1).waitUntil([&] { return done == 1; });
+    });
+    c.spawnOn(0, "send", [&] {
+        auto &ep = c.vmmc(0);
+        while (exp == core::kInvalidExport)
+            c.sim().delay(microseconds(10));
+        core::ProxyId p = ep.import(1, exp);
+        for (int i = 0; i < 60; ++i) {
+            std::size_t bytes = 1 + rng.below(12000);
+            std::size_t off = rng.below(kBuf - bytes);
+            std::vector<char> data(bytes);
+            for (auto &ch : data)
+                ch = char(rng.next());
+            ep.send(p, data.data(), bytes, off);
+            std::memcpy(shadow.data() + off, data.data(), bytes);
+        }
+        ep.drainSends();
+        // A final flag write; FIFO ordering makes it arrive last.
+        char flag = 1;
+        ep.send(p, &flag, 1, kBuf - 1);
+        shadow[kBuf - 1] = 1;
+        ep.waitUntil([&] { return rbuf[kBuf - 1] == 1; });
+        done = 1;
+    });
+    c.run();
+    EXPECT_EQ(std::memcmp(rbuf, shadow.data(), kBuf), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmmcTransfer,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------
+// Socket stream framing under arbitrary chunking
+// ---------------------------------------------------------------------
+
+class SocketChunking : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SocketChunking, StreamIsChunkingInvariant)
+{
+    Random rng(GetParam());
+    core::Cluster c;
+    sock::SocketDomain dom(c);
+    const std::size_t kTotal = 40 * 1024;
+    bool ok = false;
+
+    c.spawnOn(0, "server", [&] {
+        sock::Socket *s = dom.accept(0, 3);
+        std::vector<char> buf(kTotal);
+        std::size_t got = 0;
+        Random rrng(GetParam() + 99);
+        while (got < kTotal) {
+            // Receive in random-sized pieces too.
+            std::size_t want =
+                std::min<std::size_t>(1 + rrng.below(5000),
+                                      kTotal - got);
+            std::size_t n = s->recv(buf.data() + got, want);
+            got += n;
+        }
+        bool good = true;
+        for (std::size_t i = 0; i < kTotal; ++i)
+            good = good && buf[i] == char(i * 37 + 5);
+        ok = good;
+    });
+    c.spawnOn(1, "client", [&] {
+        sock::Socket *s = dom.connect(1, 0, 3);
+        std::vector<char> buf(kTotal);
+        for (std::size_t i = 0; i < kTotal; ++i)
+            buf[i] = char(i * 37 + 5);
+        std::size_t sent = 0;
+        while (sent < kTotal) {
+            std::size_t n = std::min<std::size_t>(
+                1 + rng.below(7000), kTotal - sent);
+            s->send(buf.data() + sent, n);
+            sent += n;
+        }
+    });
+    c.run();
+    EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SocketChunking,
+                         ::testing::Values(7, 17, 27));
+
+// ---------------------------------------------------------------------
+// Radix correctness across geometries
+// ---------------------------------------------------------------------
+
+class RadixGeometry
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RadixGeometry, SortsAtEveryGeometry)
+{
+    auto [nprocs, kkeys] = GetParam();
+    apps::RadixConfig cfg;
+    cfg.keys = std::size_t(kkeys) * 1024;
+    cfg.iterations = 2;
+    core::ClusterConfig cc;
+    auto r = apps::runRadixVmmc(cc, /*au=*/true, nprocs, cfg);
+    EXPECT_EQ(r.checksum % 2, 1u)
+        << nprocs << " procs, " << kkeys << "K keys: not sorted";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RadixGeometry,
+    ::testing::Values(std::make_pair(1, 32), std::make_pair(2, 32),
+                      std::make_pair(4, 64), std::make_pair(8, 64),
+                      std::make_pair(16, 128)));
+
+// ---------------------------------------------------------------------
+// Determinism: identical runs produce identical timelines
+// ---------------------------------------------------------------------
+
+TEST(Determinism, IdenticalRunsProduceIdenticalResults)
+{
+    auto run_once = [] {
+        apps::RadixConfig cfg;
+        cfg.keys = 32 * 1024;
+        cfg.iterations = 2;
+        core::ClusterConfig cc;
+        auto r = apps::runRadixVmmc(cc, true, 4, cfg);
+        return std::make_pair(r.elapsed, r.messages);
+    };
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Determinism, SeedChangesWorkloadNotProtocol)
+{
+    apps::RadixConfig cfg;
+    cfg.keys = 32 * 1024;
+    cfg.iterations = 2;
+    core::ClusterConfig cc;
+    auto a = apps::runRadixVmmc(cc, true, 4, cfg);
+    cfg.seed = 999;
+    auto b = apps::runRadixVmmc(cc, true, 4, cfg);
+    EXPECT_NE(a.checksum, b.checksum); // different keys
+    EXPECT_EQ(a.checksum % 2, 1u);
+    EXPECT_EQ(b.checksum % 2, 1u); // both sorted
+}

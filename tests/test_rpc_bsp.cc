@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the RPC library (polling and notification dispatch) and
+ * the cBSP bulk-synchronous library (puts, zero-cost sync).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "msg/bsp.hh"
+#include "msg/rpc.hh"
+
+using namespace shrimp;
+using namespace shrimp::msg;
+
+// ---------------------------------------------------------------------
+// RPC
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct AddArgs
+{
+    std::int32_t a;
+    std::int32_t b;
+};
+
+struct AddReply
+{
+    std::int32_t sum;
+};
+
+} // anonymous namespace
+
+TEST(Rpc, PollingCallRoundTrip)
+{
+    core::Cluster c;
+    RpcDomain dom(c);
+
+    dom.registerProcedure(
+        0, /*proc=*/1,
+        [](NodeId, const void *args, std::size_t bytes) {
+            EXPECT_EQ(bytes, sizeof(AddArgs));
+            AddArgs a;
+            std::memcpy(&a, args, sizeof(a));
+            AddReply r{a.a + a.b};
+            std::vector<char> out(sizeof(r));
+            std::memcpy(out.data(), &r, sizeof(r));
+            return out;
+        });
+
+    std::int32_t result = 0;
+    c.spawnOn(0, "server", [&] {
+        dom.initServer(0);
+        dom.serve(0, 3);
+    });
+    c.spawnOn(1, "client", [&] {
+        auto *cl = dom.bind(1, 0);
+        for (int i = 1; i <= 3; ++i) {
+            AddArgs a{i, 10 * i};
+            auto r = cl->callTyped<AddReply>(1, a);
+            result = r.sum;
+            EXPECT_EQ(r.sum, 11 * i);
+        }
+    });
+    c.run();
+    EXPECT_EQ(result, 33);
+    EXPECT_EQ(dom.served(0), 3u);
+}
+
+TEST(Rpc, NotificationDispatchNeedsNoServerLoop)
+{
+    core::Cluster c;
+    RpcConfig cfg;
+    cfg.notificationDispatch = true;
+    RpcDomain dom(c, cfg);
+
+    dom.registerProcedure(
+        2, 7, [](NodeId client, const void *, std::size_t) {
+            std::vector<char> out(4);
+            std::uint32_t v = 100 + client;
+            std::memcpy(out.data(), &v, 4);
+            return out;
+        });
+
+    std::uint32_t got = 0;
+    c.spawnOn(2, "server", [&] {
+        dom.initServer(2);
+        // No serve() loop: the notification dispatcher does the work
+        // while this process computes other things.
+        c.sim().delay(milliseconds(5));
+    });
+    c.spawnOn(5, "client", [&] {
+        auto *cl = dom.bind(5, 2);
+        auto r = cl->call(7, "x", 1);
+        ASSERT_EQ(r.size(), 4u);
+        std::memcpy(&got, r.data(), 4);
+    });
+    c.run();
+    EXPECT_EQ(got, 105u);
+}
+
+TEST(Rpc, MultipleClientsShareAServer)
+{
+    core::Cluster c;
+    RpcDomain dom(c);
+
+    dom.registerProcedure(
+        0, 1, [](NodeId client, const void *, std::size_t) {
+            std::vector<char> out(4);
+            std::uint32_t v = client * 2;
+            std::memcpy(out.data(), &v, 4);
+            return out;
+        });
+
+    const int kClients = 5;
+    const int kCallsEach = 4;
+    std::uint64_t total = 0;
+    c.spawnOn(0, "server", [&] {
+        dom.initServer(0);
+        dom.serve(0, kClients * kCallsEach);
+    });
+    for (int i = 1; i <= kClients; ++i) {
+        c.spawnOn(i, "client", [&, i] {
+            auto *cl = dom.bind(i, 0);
+            for (int k = 0; k < kCallsEach; ++k) {
+                auto r = cl->call(1, "y", 1);
+                std::uint32_t v;
+                std::memcpy(&v, r.data(), 4);
+                EXPECT_EQ(v, std::uint32_t(i) * 2);
+                total += v;
+            }
+        });
+    }
+    c.run();
+    EXPECT_EQ(total, std::uint64_t(kCallsEach) * 2 * (1 + 2 + 3 + 4 + 5));
+}
+
+TEST(Rpc, LargePayloadsWork)
+{
+    core::Cluster c;
+    RpcDomain dom(c);
+    const std::size_t kBytes = 12000;
+
+    dom.registerProcedure(
+        3, 9, [](NodeId, const void *args, std::size_t bytes) {
+            // Echo reversed.
+            const char *p = static_cast<const char *>(args);
+            std::vector<char> out(p, p + bytes);
+            std::reverse(out.begin(), out.end());
+            return out;
+        });
+
+    bool ok = false;
+    c.spawnOn(3, "server", [&] {
+        dom.initServer(3);
+        dom.serve(3, 1);
+    });
+    c.spawnOn(4, "client", [&] {
+        auto *cl = dom.bind(4, 3);
+        std::vector<char> args(kBytes);
+        for (std::size_t i = 0; i < kBytes; ++i)
+            args[i] = char(i % 127);
+        auto r = cl->call(9, args.data(), args.size());
+        ASSERT_EQ(r.size(), kBytes);
+        bool good = true;
+        for (std::size_t i = 0; i < kBytes; ++i)
+            good = good && r[i] == args[kBytes - 1 - i];
+        ok = good;
+    });
+    c.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(Rpc, LatencyIsTensOfMicroseconds)
+{
+    // The specialized SHRIMP RPC was ~2 round trips of small VMMC
+    // messages plus marshalling: several tens of microseconds.
+    core::Cluster c;
+    RpcDomain dom(c);
+    dom.registerProcedure(0, 1,
+                          [](NodeId, const void *, std::size_t) {
+                              return std::vector<char>(4, 1);
+                          });
+    double us = 0;
+    c.spawnOn(0, "server", [&] {
+        dom.initServer(0);
+        dom.serve(0, 16);
+    });
+    c.spawnOn(1, "client", [&] {
+        auto *cl = dom.bind(1, 0);
+        cl->call(1, "w", 1); // warm up
+        Tick t0 = c.sim().now();
+        for (int i = 0; i < 15; ++i)
+            cl->call(1, "w", 1);
+        us = toMicroseconds(c.sim().now() - t0) / 15.0;
+    });
+    c.run();
+    EXPECT_GT(us, 10.0);
+    EXPECT_LT(us, 120.0);
+}
+
+// ---------------------------------------------------------------------
+// BSP
+// ---------------------------------------------------------------------
+
+TEST(Bsp, PutsVisibleAfterSync)
+{
+    core::Cluster c;
+    BspConfig cfg;
+    cfg.nprocs = 4;
+    BspDomain dom(c, cfg);
+
+    std::vector<std::uint32_t *> areas(4);
+    std::vector<std::uint64_t> sums(4, 0);
+
+    for (int r = 0; r < 4; ++r) {
+        c.spawnOn(r, "rank", [&, r] {
+            dom.init(r);
+            auto *buf = c.node(r).mem().allocArray<std::uint32_t>(
+                1024, true);
+            std::memset(buf, 0, 4096);
+            areas[r] = buf;
+            int area = dom.registerArea(r, buf, 4096);
+
+            // Superstep 1: everyone puts its rank+1 into everyone
+            // else's slot r.
+            for (int dst = 0; dst < 4; ++dst) {
+                if (dst == r)
+                    continue;
+                std::uint32_t v = std::uint32_t(r + 1);
+                dom.put(r, dst, area, std::size_t(r) * 4, &v, 4);
+            }
+            dom.sync(r);
+
+            std::uint64_t s = 0;
+            for (int i = 0; i < 4; ++i)
+                s += areas[r][i];
+            sums[r] = s;
+            dom.sync(r);
+        });
+    }
+    c.run();
+    for (int r = 0; r < 4; ++r) {
+        // Sum of all other ranks' (rank+1) values.
+        std::uint64_t expect = 1 + 2 + 3 + 4 - std::uint64_t(r + 1);
+        EXPECT_EQ(sums[r], expect) << "rank " << r;
+    }
+}
+
+TEST(Bsp, SuperstepsAdvanceTogether)
+{
+    core::Cluster c;
+    BspConfig cfg;
+    cfg.nprocs = 6;
+    BspDomain dom(c, cfg);
+    std::vector<std::uint64_t> final_step(6, 0);
+
+    for (int r = 0; r < 6; ++r) {
+        c.spawnOn(r, "rank", [&, r] {
+            dom.init(r);
+            for (int s = 0; s < 10; ++s) {
+                // Stagger work so ranks arrive at different times.
+                c.sim().delay(microseconds(10 * (r + 1)));
+                dom.sync(r);
+            }
+            final_step[r] = dom.superstep(r);
+        });
+    }
+    c.run();
+    for (int r = 0; r < 6; ++r)
+        EXPECT_EQ(final_step[r], 10u);
+}
+
+TEST(Bsp, PipelinedShiftComputesCorrectly)
+{
+    // Classic BSP ring shift: each rank passes an accumulating value
+    // around the ring, one hop per superstep.
+    core::Cluster c;
+    const int kProcs = 8;
+    BspConfig cfg;
+    cfg.nprocs = kProcs;
+    BspDomain dom(c, cfg);
+
+    std::vector<std::uint64_t *> cells(kProcs);
+    std::vector<std::uint64_t> results(kProcs, 0);
+
+    for (int r = 0; r < kProcs; ++r) {
+        c.spawnOn(r, "rank", [&, r] {
+            dom.init(r);
+            auto *buf = c.node(r).mem().allocArray<std::uint64_t>(
+                512, true);
+            std::memset(buf, 0, 4096);
+            cells[r] = buf;
+            int area = dom.registerArea(r, buf, 4096);
+
+            std::uint64_t value = std::uint64_t(r);
+            for (int s = 0; s < kProcs - 1; ++s) {
+                int dst = (r + 1) % kProcs;
+                dom.put(r, dst, area, 0, &value, 8);
+                dom.sync(r);
+                value = cells[r][0] + std::uint64_t(r);
+            }
+            results[r] = value;
+            dom.sync(r);
+        });
+    }
+    c.run();
+    // After p-1 shifts each rank accumulated... verify against a
+    // host-side replay of the same algorithm.
+    std::vector<std::uint64_t> vals(kProcs), next(kProcs);
+    for (int r = 0; r < kProcs; ++r)
+        vals[r] = std::uint64_t(r);
+    for (int s = 0; s < kProcs - 1; ++s) {
+        for (int r = 0; r < kProcs; ++r)
+            next[(r + 1) % kProcs] = vals[r];
+        for (int r = 0; r < kProcs; ++r)
+            vals[r] = next[r] + std::uint64_t(r);
+    }
+    for (int r = 0; r < kProcs; ++r)
+        EXPECT_EQ(results[r], vals[r]) << "rank " << r;
+}
+
+TEST(Bsp, SyncCostIsSmall)
+{
+    // The cBSP claim: sync is a handful of small messages, tens of
+    // microseconds — far from a heavyweight barrier.
+    core::Cluster c;
+    BspConfig cfg;
+    cfg.nprocs = 8;
+    BspDomain dom(c, cfg);
+    double us_per_sync = 0;
+
+    for (int r = 0; r < 8; ++r) {
+        c.spawnOn(r, "rank", [&, r] {
+            dom.init(r);
+            dom.sync(r); // warm-up
+            Tick t0 = c.sim().now();
+            for (int s = 0; s < 20; ++s)
+                dom.sync(r);
+            if (r == 0)
+                us_per_sync =
+                    toMicroseconds(c.sim().now() - t0) / 20.0;
+        });
+    }
+    c.run();
+    EXPECT_GT(us_per_sync, 5.0);
+    EXPECT_LT(us_per_sync, 200.0);
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Protection and error-path tests for VMMC: export permissions
+ * (Sec 2.2), alignment rules, buffer-overrun checks, and page-table
+ * misuse. The protection guarantees are half the point of the NI
+ * design ("a multiprogrammed, client/server environment", Sec 1.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/vmmc.hh"
+
+using namespace shrimp;
+using namespace shrimp::core;
+
+namespace
+{
+
+char *
+pageBuf(Cluster &c, int node, std::size_t bytes)
+{
+    char *p = static_cast<char *>(c.node(node).mem().alloc(bytes, true));
+    std::memset(p, 0, bytes);
+    return p;
+}
+
+} // anonymous namespace
+
+TEST(VmmcPermissions, PermittedImporterSucceeds)
+{
+    Cluster c;
+    char *buf = pageBuf(c, 0, 4096);
+    ExportId exp = kInvalidExport;
+    bool imported = false;
+
+    c.spawnOn(0, "owner", [&] {
+        exp = c.vmmc(0).exportBuffer(
+            buf, 4096, ExportPermissions::only({1, 3}));
+    });
+    c.spawnOn(1, "friend", [&] {
+        while (exp == kInvalidExport)
+            c.sim().delay(microseconds(10));
+        ProxyId p = c.vmmc(1).import(0, exp);
+        imported = (p != kInvalidProxy);
+    });
+    c.run();
+    EXPECT_TRUE(imported);
+}
+
+TEST(VmmcPermissions, UnpermittedImporterIsRejected)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            char *buf = pageBuf(c, 0, 4096);
+            ExportId exp = kInvalidExport;
+            c.spawnOn(0, "owner", [&] {
+                exp = c.vmmc(0).exportBuffer(
+                    buf, 4096, ExportPermissions::only({1}));
+            });
+            c.spawnOn(2, "stranger", [&] {
+                while (exp == kInvalidExport)
+                    c.sim().delay(microseconds(10));
+                c.vmmc(2).import(0, exp);
+            });
+            c.run();
+        },
+        "lacks permission");
+}
+
+TEST(VmmcPermissions, OpenExportAdmitsAnyone)
+{
+    ExportPermissions p = ExportPermissions::any();
+    for (NodeId n = 0; n < 16; ++n)
+        EXPECT_TRUE(p.permits(n));
+    ExportPermissions r = ExportPermissions::only({2, 5});
+    EXPECT_TRUE(r.permits(2));
+    EXPECT_TRUE(r.permits(5));
+    EXPECT_FALSE(r.permits(0));
+    EXPECT_FALSE(r.permits(7));
+}
+
+TEST(VmmcErrors, UnalignedExportIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            c.spawnOn(0, "p", [&] {
+                char *buf = static_cast<char *>(
+                    c.node(0).mem().alloc(8192, true));
+                c.vmmc(0).exportBuffer(buf + 8, 4096);
+            });
+            c.run();
+        },
+        "page-aligned");
+}
+
+TEST(VmmcErrors, HeapMemoryCannotBeExported)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            c.spawnOn(0, "p", [&] {
+                std::vector<char> heap(4096);
+                c.vmmc(0).exportBuffer(heap.data(), 4096);
+            });
+            c.run();
+        },
+        "arena");
+}
+
+TEST(VmmcErrors, SendBeyondBufferIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            char *buf = pageBuf(c, 1, 4096);
+            ExportId exp = kInvalidExport;
+            c.spawnOn(1, "owner", [&] {
+                exp = c.vmmc(1).exportBuffer(buf, 4096);
+            });
+            c.spawnOn(0, "sender", [&] {
+                while (exp == kInvalidExport)
+                    c.sim().delay(microseconds(10));
+                ProxyId p = c.vmmc(0).import(1, exp);
+                char data[64];
+                c.vmmc(0).send(p, data, 64, 4090); // overruns
+            });
+            c.run();
+        },
+        "overruns");
+}
+
+TEST(VmmcErrors, ImportOfUnknownExportIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            c.spawnOn(0, "p", [&] { c.vmmc(0).import(1, 42); });
+            c.run();
+        },
+        "no export");
+}
+
+TEST(VmmcErrors, UnalignedAuBindingIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            char *buf = pageBuf(c, 1, 8192);
+            ExportId exp = kInvalidExport;
+            c.spawnOn(1, "owner", [&] {
+                exp = c.vmmc(1).exportBuffer(buf, 8192);
+            });
+            c.spawnOn(0, "binder", [&] {
+                while (exp == kInvalidExport)
+                    c.sim().delay(microseconds(10));
+                ProxyId p = c.vmmc(0).import(1, exp);
+                char *local = static_cast<char *>(
+                    c.node(0).mem().alloc(8192, true));
+                // Destination offset not page aligned (Sec 2.2's
+                // "must be page-aligned on both sender and receiver").
+                c.vmmc(0).bindAu(local, p, 100, 4096);
+            });
+            c.run();
+        },
+        "page-aligned");
+}
+
+TEST(VmmcErrors, AuBindingOverrunIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            char *buf = pageBuf(c, 1, 4096);
+            ExportId exp = kInvalidExport;
+            c.spawnOn(1, "owner", [&] {
+                exp = c.vmmc(1).exportBuffer(buf, 4096);
+            });
+            c.spawnOn(0, "binder", [&] {
+                while (exp == kInvalidExport)
+                    c.sim().delay(microseconds(10));
+                ProxyId p = c.vmmc(0).import(1, exp);
+                char *local = static_cast<char *>(
+                    c.node(0).mem().alloc(8192, true));
+                c.vmmc(0).bindAu(local, p, 0, 8192); // 2 pages into 1
+            });
+            c.run();
+        },
+        "overruns");
+}
+
+TEST(VmmcErrors, SendOnBadProxyIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Cluster c;
+            c.spawnOn(0, "p", [&] {
+                char v = 0;
+                c.vmmc(0).send(99, &v, 1, 0);
+            });
+            c.run();
+        },
+        "bad proxy");
+}

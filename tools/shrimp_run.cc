@@ -1,0 +1,238 @@
+/**
+ * @file
+ * shrimp_run — run any of the paper's workloads on any configuration
+ * of the simulated SHRIMP cluster from the command line.
+ *
+ * Examples:
+ *   shrimp_run --app radix-vmmc --procs 16 --au
+ *   shrimp_run --app radix-svm --protocol aurc --keys 524288
+ *   shrimp_run --app barnes-svm --procs 8 --no-udma
+ *   shrimp_run --app dfs --no-combining --au
+ *
+ * Every what-if knob of the paper's Sec 4 is exposed: kernel-mediated
+ * sends (--no-udma), forced per-message interrupts, combining, FIFO
+ * capacity, DU queue depth, and the baseline Myrinet-style NIC.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/barnes.hh"
+#include "apps/dfs.hh"
+#include "apps/ocean.hh"
+#include "apps/radix.hh"
+#include "apps/render.hh"
+
+using namespace shrimp;
+using namespace shrimp::apps;
+using shrimp::svm::Protocol;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --app <name> [options]\n"
+        "\n"
+        "apps: radix-svm radix-vmmc ocean-svm ocean-nx barnes-svm\n"
+        "      barnes-nx dfs render\n"
+        "\n"
+        "workload options:\n"
+        "  --procs N          processors (default 16)\n"
+        "  --protocol P       SVM protocol: hlrc | hlrc-au | aurc\n"
+        "  --au / --du        update variant (VMMC/NX/sockets apps)\n"
+        "  --keys N           radix keys (default 262144)\n"
+        "  --grid N           ocean grid edge (default 130)\n"
+        "  --bodies N         barnes bodies (default 4096)\n"
+        "  --steps N          iterations/timesteps\n"
+        "  --seed N           workload seed\n"
+        "\n"
+        "what-if knobs (Sec 4):\n"
+        "  --nic baseline     Myrinet-style adapter instead of SHRIMP\n"
+        "  --no-udma          system call before every send (Table 2)\n"
+        "  --interrupt-per-message   forced interrupts (Table 4)\n"
+        "  --no-combining     disable AU combining (Sec 4.5.1)\n"
+        "  --fifo BYTES       outgoing FIFO capacity (Sec 4.5.2)\n"
+        "  --du-queue N       DU request queue depth (Sec 4.5.3)\n"
+        "",
+        argv0);
+    std::exit(2);
+}
+
+struct Options
+{
+    std::string app;
+    int procs = 16;
+    Protocol protocol = Protocol::AURC;
+    bool useAu = true;
+    std::size_t keys = 262144;
+    int grid = 130;
+    int bodies = 4096;
+    int steps = -1;
+    std::uint64_t seed = 0;
+    core::ClusterConfig cluster;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--app") {
+            o.app = need(i);
+        } else if (a == "--procs") {
+            o.procs = std::atoi(need(i));
+        } else if (a == "--protocol") {
+            std::string p = need(i);
+            if (p == "hlrc")
+                o.protocol = Protocol::HLRC;
+            else if (p == "hlrc-au")
+                o.protocol = Protocol::HLRC_AU;
+            else if (p == "aurc")
+                o.protocol = Protocol::AURC;
+            else
+                usage(argv[0]);
+        } else if (a == "--au") {
+            o.useAu = true;
+        } else if (a == "--du") {
+            o.useAu = false;
+        } else if (a == "--keys") {
+            o.keys = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--grid") {
+            o.grid = std::atoi(need(i));
+        } else if (a == "--bodies") {
+            o.bodies = std::atoi(need(i));
+        } else if (a == "--steps") {
+            o.steps = std::atoi(need(i));
+        } else if (a == "--seed") {
+            o.seed = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--nic") {
+            std::string n = need(i);
+            if (n == "baseline")
+                o.cluster.nicKind = core::NicKind::Baseline;
+            else if (n != "shrimp")
+                usage(argv[0]);
+        } else if (a == "--no-udma") {
+            o.cluster.udmaSends = false;
+        } else if (a == "--interrupt-per-message") {
+            o.cluster.shrimpNic.interruptPerMessage = true;
+        } else if (a == "--no-combining") {
+            o.cluster.shrimpNic.combiningEnabled = false;
+        } else if (a == "--fifo") {
+            o.cluster.shrimpNic.outFifoBytes =
+                std::uint32_t(std::atoi(need(i)));
+        } else if (a == "--du-queue") {
+            o.cluster.shrimpNic.duQueueDepth = std::atoi(need(i));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (o.app.empty())
+        usage(argv[0]);
+    return o;
+}
+
+AppResult
+runApp(const Options &o)
+{
+    if (o.app == "radix-svm" || o.app == "radix-vmmc") {
+        RadixConfig cfg;
+        cfg.keys = o.keys;
+        if (o.steps > 0)
+            cfg.iterations = o.steps;
+        if (o.seed)
+            cfg.seed = o.seed;
+        return o.app == "radix-svm"
+                   ? runRadixSvm(o.cluster, o.protocol, o.procs, cfg)
+                   : runRadixVmmc(o.cluster, o.useAu, o.procs, cfg);
+    }
+    if (o.app == "ocean-svm" || o.app == "ocean-nx") {
+        OceanConfig cfg;
+        cfg.n = o.grid;
+        if (o.steps > 0)
+            cfg.iterations = o.steps;
+        return o.app == "ocean-svm"
+                   ? runOceanSvm(o.cluster, o.protocol, o.procs, cfg)
+                   : runOceanNx(o.cluster, o.useAu, o.procs, cfg);
+    }
+    if (o.app == "barnes-svm" || o.app == "barnes-nx") {
+        BarnesConfig cfg;
+        cfg.bodies = o.bodies;
+        cfg.timesteps = o.steps > 0 ? o.steps : 2;
+        if (o.seed)
+            cfg.seed = o.seed;
+        return o.app == "barnes-svm"
+                   ? runBarnesSvm(o.cluster, o.protocol, o.procs, cfg)
+                   : runBarnesNx(o.cluster, o.useAu, o.procs, cfg);
+    }
+    if (o.app == "dfs") {
+        DfsConfig cfg;
+        cfg.useAutomaticUpdate = o.useAu;
+        cfg.auCombining = o.cluster.shrimpNic.combiningEnabled;
+        return runDfs(o.cluster, cfg);
+    }
+    if (o.app == "render") {
+        RenderConfig cfg;
+        cfg.workers = o.procs - 1;
+        cfg.useAutomaticUpdate = o.useAu;
+        return runRender(o.cluster, cfg);
+    }
+    std::fprintf(stderr, "unknown app '%s'\n", o.app.c_str());
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    // DFS/render default to DU like the paper's runs; the flag must
+    // be given explicitly to force AU.
+    bool au_given = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--au")
+            au_given = true;
+    if ((o.app == "dfs" || o.app == "render") && !au_given)
+        o.useAu = false;
+
+    AppResult r = runApp(o);
+
+    std::printf("app:            %s\n", r.name.c_str());
+    std::printf("processors:     %d\n", r.nprocs);
+    std::printf("elapsed:        %.3f ms simulated\n",
+                toSeconds(r.elapsed) * 1e3);
+    std::printf("messages:       %llu\n",
+                (unsigned long long)r.messages);
+    std::printf("notifications:  %llu\n",
+                (unsigned long long)r.notifications);
+    std::printf("checksum:       %llu\n",
+                (unsigned long long)r.checksum);
+
+    double total = double(r.combined.grandTotal());
+    if (total > 0) {
+        std::printf("time breakdown:");
+        for (std::size_t c = 0;
+             c < std::size_t(TimeCategory::kCount); ++c) {
+            std::printf("  %s %.1f%%",
+                        timeCategoryName(TimeCategory(c)),
+                        100.0 * double(r.combined.total(
+                                    TimeCategory(c))) /
+                            total);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_combining"
+  "../bench/bench_combining.pdb"
+  "CMakeFiles/bench_combining.dir/bench_combining.cc.o"
+  "CMakeFiles/bench_combining.dir/bench_combining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

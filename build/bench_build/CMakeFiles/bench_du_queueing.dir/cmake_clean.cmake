@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_du_queueing"
+  "../bench/bench_du_queueing.pdb"
+  "CMakeFiles/bench_du_queueing.dir/bench_du_queueing.cc.o"
+  "CMakeFiles/bench_du_queueing.dir/bench_du_queueing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_du_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

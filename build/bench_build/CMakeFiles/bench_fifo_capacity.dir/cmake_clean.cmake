@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fifo_capacity"
+  "../bench/bench_fifo_capacity.pdb"
+  "CMakeFiles/bench_fifo_capacity.dir/bench_fifo_capacity.cc.o"
+  "CMakeFiles/bench_fifo_capacity.dir/bench_fifo_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

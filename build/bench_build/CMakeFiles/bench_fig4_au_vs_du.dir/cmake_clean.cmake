@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_au_vs_du"
+  "../bench/bench_fig4_au_vs_du.pdb"
+  "CMakeFiles/bench_fig4_au_vs_du.dir/bench_fig4_au_vs_du.cc.o"
+  "CMakeFiles/bench_fig4_au_vs_du.dir/bench_fig4_au_vs_du.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_au_vs_du.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_au_vs_du.
+# This may be replaced when dependencies are built.

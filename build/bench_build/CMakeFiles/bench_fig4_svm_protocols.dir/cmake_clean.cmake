@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_svm_protocols"
+  "../bench/bench_fig4_svm_protocols.pdb"
+  "CMakeFiles/bench_fig4_svm_protocols.dir/bench_fig4_svm_protocols.cc.o"
+  "CMakeFiles/bench_fig4_svm_protocols.dir/bench_fig4_svm_protocols.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_svm_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

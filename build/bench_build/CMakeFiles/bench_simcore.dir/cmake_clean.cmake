@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_simcore"
+  "../bench/bench_simcore.pdb"
+  "CMakeFiles/bench_simcore.dir/bench_simcore.cc.o"
+  "CMakeFiles/bench_simcore.dir/bench_simcore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

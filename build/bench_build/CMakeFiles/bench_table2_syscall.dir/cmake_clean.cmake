@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_syscall"
+  "../bench/bench_table2_syscall.pdb"
+  "CMakeFiles/bench_table2_syscall.dir/bench_table2_syscall.cc.o"
+  "CMakeFiles/bench_table2_syscall.dir/bench_table2_syscall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

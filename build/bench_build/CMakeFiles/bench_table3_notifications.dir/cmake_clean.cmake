@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_notifications"
+  "../bench/bench_table3_notifications.pdb"
+  "CMakeFiles/bench_table3_notifications.dir/bench_table3_notifications.cc.o"
+  "CMakeFiles/bench_table3_notifications.dir/bench_table3_notifications.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_notifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

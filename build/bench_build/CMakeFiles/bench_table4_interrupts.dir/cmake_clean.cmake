@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_interrupts"
+  "../bench/bench_table4_interrupts.pdb"
+  "CMakeFiles/bench_table4_interrupts.dir/bench_table4_interrupts.cc.o"
+  "CMakeFiles/bench_table4_interrupts.dir/bench_table4_interrupts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

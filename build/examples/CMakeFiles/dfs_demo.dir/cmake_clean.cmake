@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_demo.dir/dfs_demo.cpp.o"
+  "CMakeFiles/dfs_demo.dir/dfs_demo.cpp.o.d"
+  "dfs_demo"
+  "dfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_pingpong.dir/nx_pingpong.cpp.o"
+  "CMakeFiles/nx_pingpong.dir/nx_pingpong.cpp.o.d"
+  "nx_pingpong"
+  "nx_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_matrix.dir/svm_matrix.cpp.o"
+  "CMakeFiles/svm_matrix.dir/svm_matrix.cpp.o.d"
+  "svm_matrix"
+  "svm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cc" "src/apps/CMakeFiles/shrimp_apps.dir/barnes.cc.o" "gcc" "src/apps/CMakeFiles/shrimp_apps.dir/barnes.cc.o.d"
+  "/root/repo/src/apps/dfs.cc" "src/apps/CMakeFiles/shrimp_apps.dir/dfs.cc.o" "gcc" "src/apps/CMakeFiles/shrimp_apps.dir/dfs.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/apps/CMakeFiles/shrimp_apps.dir/ocean.cc.o" "gcc" "src/apps/CMakeFiles/shrimp_apps.dir/ocean.cc.o.d"
+  "/root/repo/src/apps/radix.cc" "src/apps/CMakeFiles/shrimp_apps.dir/radix.cc.o" "gcc" "src/apps/CMakeFiles/shrimp_apps.dir/radix.cc.o.d"
+  "/root/repo/src/apps/render.cc" "src/apps/CMakeFiles/shrimp_apps.dir/render.cc.o" "gcc" "src/apps/CMakeFiles/shrimp_apps.dir/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shrimp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/shrimp_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/shrimp_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/shrimp_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/shrimp_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/shrimp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/shrimp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shrimp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_apps.dir/barnes.cc.o"
+  "CMakeFiles/shrimp_apps.dir/barnes.cc.o.d"
+  "CMakeFiles/shrimp_apps.dir/dfs.cc.o"
+  "CMakeFiles/shrimp_apps.dir/dfs.cc.o.d"
+  "CMakeFiles/shrimp_apps.dir/ocean.cc.o"
+  "CMakeFiles/shrimp_apps.dir/ocean.cc.o.d"
+  "CMakeFiles/shrimp_apps.dir/radix.cc.o"
+  "CMakeFiles/shrimp_apps.dir/radix.cc.o.d"
+  "CMakeFiles/shrimp_apps.dir/render.cc.o"
+  "CMakeFiles/shrimp_apps.dir/render.cc.o.d"
+  "libshrimp_apps.a"
+  "libshrimp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

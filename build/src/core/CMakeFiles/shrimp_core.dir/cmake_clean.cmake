@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_core.dir/cluster.cc.o"
+  "CMakeFiles/shrimp_core.dir/cluster.cc.o.d"
+  "CMakeFiles/shrimp_core.dir/collective.cc.o"
+  "CMakeFiles/shrimp_core.dir/collective.cc.o.d"
+  "CMakeFiles/shrimp_core.dir/vmmc.cc.o"
+  "CMakeFiles/shrimp_core.dir/vmmc.cc.o.d"
+  "libshrimp_core.a"
+  "libshrimp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

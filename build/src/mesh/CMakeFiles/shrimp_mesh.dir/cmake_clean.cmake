@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_mesh.dir/network.cc.o"
+  "CMakeFiles/shrimp_mesh.dir/network.cc.o.d"
+  "libshrimp_mesh.a"
+  "libshrimp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/bsp.cc" "src/msg/CMakeFiles/shrimp_msg.dir/bsp.cc.o" "gcc" "src/msg/CMakeFiles/shrimp_msg.dir/bsp.cc.o.d"
+  "/root/repo/src/msg/nx.cc" "src/msg/CMakeFiles/shrimp_msg.dir/nx.cc.o" "gcc" "src/msg/CMakeFiles/shrimp_msg.dir/nx.cc.o.d"
+  "/root/repo/src/msg/rpc.cc" "src/msg/CMakeFiles/shrimp_msg.dir/rpc.cc.o" "gcc" "src/msg/CMakeFiles/shrimp_msg.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shrimp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/shrimp_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/shrimp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/shrimp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shrimp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_msg.dir/bsp.cc.o"
+  "CMakeFiles/shrimp_msg.dir/bsp.cc.o.d"
+  "CMakeFiles/shrimp_msg.dir/nx.cc.o"
+  "CMakeFiles/shrimp_msg.dir/nx.cc.o.d"
+  "CMakeFiles/shrimp_msg.dir/rpc.cc.o"
+  "CMakeFiles/shrimp_msg.dir/rpc.cc.o.d"
+  "libshrimp_msg.a"
+  "libshrimp_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

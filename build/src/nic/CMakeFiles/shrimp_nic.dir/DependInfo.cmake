@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/baseline_nic.cc" "src/nic/CMakeFiles/shrimp_nic.dir/baseline_nic.cc.o" "gcc" "src/nic/CMakeFiles/shrimp_nic.dir/baseline_nic.cc.o.d"
+  "/root/repo/src/nic/nic_base.cc" "src/nic/CMakeFiles/shrimp_nic.dir/nic_base.cc.o" "gcc" "src/nic/CMakeFiles/shrimp_nic.dir/nic_base.cc.o.d"
+  "/root/repo/src/nic/shrimp_nic.cc" "src/nic/CMakeFiles/shrimp_nic.dir/shrimp_nic.cc.o" "gcc" "src/nic/CMakeFiles/shrimp_nic.dir/shrimp_nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/shrimp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/shrimp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/shrimp_node.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_nic.dir/baseline_nic.cc.o"
+  "CMakeFiles/shrimp_nic.dir/baseline_nic.cc.o.d"
+  "CMakeFiles/shrimp_nic.dir/nic_base.cc.o"
+  "CMakeFiles/shrimp_nic.dir/nic_base.cc.o.d"
+  "CMakeFiles/shrimp_nic.dir/shrimp_nic.cc.o"
+  "CMakeFiles/shrimp_nic.dir/shrimp_nic.cc.o.d"
+  "libshrimp_nic.a"
+  "libshrimp_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_node.dir/os.cc.o"
+  "CMakeFiles/shrimp_node.dir/os.cc.o.d"
+  "libshrimp_node.a"
+  "libshrimp_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

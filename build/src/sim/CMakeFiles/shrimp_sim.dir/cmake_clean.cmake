@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/shrimp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/shrimp_sim.dir/fiber.cc.o"
+  "CMakeFiles/shrimp_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/shrimp_sim.dir/logging.cc.o"
+  "CMakeFiles/shrimp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/shrimp_sim.dir/simulation.cc.o"
+  "CMakeFiles/shrimp_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/shrimp_sim.dir/stats.cc.o"
+  "CMakeFiles/shrimp_sim.dir/stats.cc.o.d"
+  "libshrimp_sim.a"
+  "libshrimp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_sockets.dir/socket.cc.o"
+  "CMakeFiles/shrimp_sockets.dir/socket.cc.o.d"
+  "libshrimp_sockets.a"
+  "libshrimp_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

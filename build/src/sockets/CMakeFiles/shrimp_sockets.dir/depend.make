@@ -1,0 +1,2 @@
+# Empty dependencies file for shrimp_sockets.
+# This may be replaced when dependencies are built.

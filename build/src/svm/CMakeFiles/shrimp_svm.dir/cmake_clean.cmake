@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_svm.dir/diff.cc.o"
+  "CMakeFiles/shrimp_svm.dir/diff.cc.o.d"
+  "CMakeFiles/shrimp_svm.dir/svm.cc.o"
+  "CMakeFiles/shrimp_svm.dir/svm.cc.o.d"
+  "libshrimp_svm.a"
+  "libshrimp_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

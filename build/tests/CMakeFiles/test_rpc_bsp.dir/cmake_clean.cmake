@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_bsp.dir/test_rpc_bsp.cc.o"
+  "CMakeFiles/test_rpc_bsp.dir/test_rpc_bsp.cc.o.d"
+  "test_rpc_bsp"
+  "test_rpc_bsp.pdb"
+  "test_rpc_bsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

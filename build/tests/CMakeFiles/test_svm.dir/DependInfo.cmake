@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_svm.cc" "tests/CMakeFiles/test_svm.dir/test_svm.cc.o" "gcc" "tests/CMakeFiles/test_svm.dir/test_svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shrimp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/shrimp_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/shrimp_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/shrimp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/shrimp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shrimp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmmc_errors.dir/test_vmmc_errors.cc.o"
+  "CMakeFiles/test_vmmc_errors.dir/test_vmmc_errors.cc.o.d"
+  "test_vmmc_errors"
+  "test_vmmc_errors.pdb"
+  "test_vmmc_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmmc_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

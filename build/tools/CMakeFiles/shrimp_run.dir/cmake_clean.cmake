@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrimp_run.dir/shrimp_run.cc.o"
+  "CMakeFiles/shrimp_run.dir/shrimp_run.cc.o.d"
+  "shrimp_run"
+  "shrimp_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrimp_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -138,6 +139,29 @@ renderConfig()
 }
 
 // ----------------------------------------------------------------------
+// Machine-readable reports
+// ----------------------------------------------------------------------
+
+/**
+ * If SHRIMP_REPORT_JSONL names a file, append @p r as one compact
+ * RunReport line. Lets any bench binary double as a data producer for
+ * plotting scripts without changing its table output.
+ */
+inline void
+maybeEmitReport(const apps::AppResult &r)
+{
+    const char *path = std::getenv("SHRIMP_REPORT_JSONL");
+    if (!path || !*path)
+        return;
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("cannot append run report to %s", path);
+        return;
+    }
+    os << apps::makeReport(r).toJson(/*pretty=*/false) << '\n';
+}
+
+// ----------------------------------------------------------------------
 // The Table 1 application suite
 // ----------------------------------------------------------------------
 
@@ -232,6 +256,24 @@ standardApps(int barnes_nx_procs = 16)
              return runRender(cc, renderConfig());
          },
          nullptr});
+
+    // Every registry run feeds the JSONL report sink when enabled.
+    for (auto &s : specs) {
+        auto run = s.run;
+        s.run = [run](const core::ClusterConfig &cc) {
+            auto r = run(cc);
+            maybeEmitReport(r);
+            return r;
+        };
+        if (s.runAt) {
+            auto run_at = s.runAt;
+            s.runAt = [run_at](const core::ClusterConfig &cc, int p) {
+                auto r = run_at(cc, p);
+                maybeEmitReport(r);
+                return r;
+            };
+        }
+    }
     return specs;
 }
 

@@ -23,20 +23,33 @@ using namespace shrimp::core;
 namespace
 {
 
+/** Latency distribution of one measured setup. */
+struct LatencyResult
+{
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+};
+
 /** One-way latency for a small message under a given setup. */
-double
+LatencyResult
 measureOneWay(NicKind kind, bool use_au)
 {
     ClusterConfig cfg;
     cfg.nicKind = kind;
     Cluster c(cfg);
 
+    // Per-rep latencies land in a fixed-bucket histogram (0-20 us in
+    // half-microsecond buckets) so the distribution is visible, not
+    // just the mean.
+    Histogram &lat =
+        c.sim().stats().histogram("bench.latency_us", 0.0, 20.0, 40);
+
     ExportId exp = kInvalidExport;
     char *rbuf = nullptr;
     char *lbuf = nullptr;
     Tick sent = 0, seen = 0;
     const int kReps = 32;
-    double total_us = 0;
 
     c.spawnOn(1, "recv", [&] {
         auto &ep = c.vmmc(1);
@@ -73,11 +86,11 @@ measureOneWay(NicKind kind, bool use_au)
             // Wait for the receiver to observe it.
             while (seen < sent)
                 c.sim().delay(microseconds(5));
-            total_us += toMicroseconds(seen - sent);
+            lat.sample(toMicroseconds(seen - sent));
         }
     });
     c.run();
-    return total_us / kReps;
+    return {lat.mean(), lat.percentile(50), lat.percentile(95)};
 }
 
 /** CPU time consumed by initiating one deliberate-update send. */
@@ -138,23 +151,27 @@ main()
         "Sec 4.1/4.2 (6 us DU, 3.71 us AU, <2 us overhead, ~10 us "
         "Myrinet)");
 
-    double shrimp_du = measureOneWay(NicKind::Shrimp, false);
-    double shrimp_au = measureOneWay(NicKind::Shrimp, true);
-    double myrinet = measureOneWay(NicKind::Baseline, false);
+    LatencyResult shrimp_du = measureOneWay(NicKind::Shrimp, false);
+    LatencyResult shrimp_au = measureOneWay(NicKind::Shrimp, true);
+    LatencyResult myrinet = measureOneWay(NicKind::Baseline, false);
     double overhead = measureSendOverhead(NicKind::Shrimp);
 
-    std::printf("%-38s %10s %10s\n", "metric", "paper", "measured");
-    std::printf("%-38s %9.2fus %9.2fus\n",
-                "SHRIMP deliberate update latency", 6.0, shrimp_du);
-    std::printf("%-38s %9.2fus %9.2fus\n",
-                "SHRIMP automatic update latency", 3.71, shrimp_au);
+    std::printf("%-38s %10s %10s %8s %8s\n", "metric", "paper",
+                "measured", "p50", "p95");
+    std::printf("%-38s %9.2fus %9.2fus %7.2fus %7.2fus\n",
+                "SHRIMP deliberate update latency", 6.0,
+                shrimp_du.mean, shrimp_du.p50, shrimp_du.p95);
+    std::printf("%-38s %9.2fus %9.2fus %7.2fus %7.2fus\n",
+                "SHRIMP automatic update latency", 3.71,
+                shrimp_au.mean, shrimp_au.p50, shrimp_au.p95);
     std::printf("%-38s %9.2fus %9.2fus\n",
                 "SHRIMP UDMA send overhead", 2.0, overhead);
-    std::printf("%-38s %9.2fus %9.2fus\n",
-                "Myrinet-VMMC baseline latency", 10.0, myrinet);
+    std::printf("%-38s %9.2fus %9.2fus %7.2fus %7.2fus\n",
+                "Myrinet-VMMC baseline latency", 10.0, myrinet.mean,
+                myrinet.p50, myrinet.p95);
 
-    bool shape_holds = shrimp_au < shrimp_du && shrimp_du < myrinet &&
-                       overhead < 2.0;
+    bool shape_holds = shrimp_au.mean < shrimp_du.mean &&
+                       shrimp_du.mean < myrinet.mean && overhead < 2.0;
     std::printf("\nshape (AU < DU < Myrinet, overhead < 2us): %s\n",
                 shape_holds ? "HOLDS" : "VIOLATED");
     return shape_holds ? 0 : 1;

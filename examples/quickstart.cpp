@@ -7,6 +7,9 @@
  *   1. deliberate update (explicit user-level DMA transfer),
  *   2. automatic update (stores to bound memory propagate on their own),
  *   3. a notified send that triggers a user-level handler.
+ * Mappings are owned by RAII handles: when the sender's ImportHandle
+ * goes out of scope the proxy is torn down, and the receiver's
+ * ExportHandle unpins the buffer when it is done.
  *
  * Run: ./quickstart
  */
@@ -26,23 +29,25 @@ main()
     Cluster cluster; // 4x4 mesh of 60 MHz Pentium nodes, SHRIMP NIs
 
     // Plumbing the two sides share.
-    ExportId exported = kInvalidExport;
+    ExportHandle exported;
     char *recv_buf = nullptr;
     int notified = 0;
+    bool sender_done = false;
 
     // --- node 1: export a receive buffer and poll for arrivals ---
     cluster.spawnOn(1, "receiver", [&] {
         Endpoint &ep = cluster.vmmc(1);
 
-        // Receive buffers are page-aligned pinned memory.
+        // Receive buffers are page-aligned pinned memory; the handle
+        // owns the export and unpins the pages when reset.
         recv_buf = static_cast<char *>(
             cluster.node(1).mem().alloc(8192, /*page_aligned=*/true));
         std::memset(recv_buf, 0, 8192);
-        exported = ep.exportBuffer(recv_buf, 8192);
+        exported = ExportHandle(ep, recv_buf, 8192);
 
         // Optional: notifications upcall a handler, like a signal.
         ep.enableNotifications(
-            exported,
+            exported.id(),
             [&](NodeId src, std::uint32_t offset, std::uint32_t bytes) {
                 std::printf("[node1] notification: %u bytes at offset "
                             "%u from node %u\n",
@@ -54,20 +59,28 @@ main()
         ep.waitUntil([&] { return notified >= 1 && recv_buf[0] != 0; });
         std::printf("[node1] saw \"%s\" and \"%s\"\n", recv_buf,
                     recv_buf + 4096);
+
+        // Withdraw the buffer once the conversation is over; any
+        // straggling send through a stale proxy would now fault
+        // instead of landing in unpinned memory.
+        while (!sender_done)
+            cluster.sim().delay(microseconds(10));
+        exported.reset();
     });
 
     // --- node 0: import and send ---
     cluster.spawnOn(0, "sender", [&] {
         Endpoint &ep = cluster.vmmc(0);
-        while (exported == kInvalidExport)
+        while (!exported)
             cluster.sim().delay(microseconds(10));
 
-        ProxyId proxy = ep.import(/*owner=*/1, exported);
+        // The handle tears the proxy mapping down when it dies.
+        ImportHandle proxy(ep, /*owner=*/1, exported.id());
 
         // 1. Deliberate update: an explicit transfer. The two-
         //    instruction UDMA initiation costs < 2 us of CPU time.
         Tick t0 = cluster.sim().now();
-        ep.send(proxy, "hello", 6, /*dst_offset=*/0);
+        ep.send(proxy.id(), "hello", 6, /*dst_offset=*/0);
         std::printf("[node0] deliberate update initiated in %.2f us\n",
                     toMicroseconds(cluster.sim().now() - t0));
 
@@ -76,13 +89,16 @@ main()
         //    themselves as a side effect of the memory-bus snoop.
         char *bound = static_cast<char *>(
             cluster.node(0).mem().alloc(4096, true));
-        ep.bindAu(bound, proxy, /*dst_offset=*/4096, 4096);
+        ep.bindAu(bound, proxy.id(), /*dst_offset=*/4096, 4096);
         ep.auWriteBlock(bound, "world", 6);
         ep.auFlush();
 
         // 3. A notified send (interrupt-request bit set).
         char ping = '!';
-        ep.send(proxy, &ping, 1, 100, /*notify=*/true);
+        ep.send(proxy.id(), &ping, 1, 100, /*notify=*/true);
+        ep.drainSends();
+        ep.unbindAu(bound, 4096);
+        sender_done = true;
     });
 
     cluster.run();

@@ -9,11 +9,15 @@
 #define SHRIMP_APPS_APP_COMMON_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/cluster.hh"
 #include "sim/logging.hh"
+#include "sim/run_report.hh"
+#include "sim/stats.hh"
 #include "sim/time_account.hh"
 
 namespace shrimp::apps
@@ -40,6 +44,29 @@ struct AppResult
     /** App-specific checksum for correctness verification. */
     std::uint64_t checksum = 0;
 
+    /** Per-rank time accounts over the measured region, rank order. */
+    std::vector<TimeAccount> perProcess;
+
+    /** Workload knobs (sizes, protocol choice, seed) for the report. */
+    std::map<std::string, std::string> params;
+
+    /**
+     * Snapshot of the simulation's statistics registry, taken after
+     * the run so the result outlives the Cluster (see captureStats).
+     */
+    StatsRegistry stats;
+
+    /** Record a workload knob; numbers are stringified. */
+    template <class T>
+    void
+    param(const std::string &key, const T &value)
+    {
+        if constexpr (std::is_convertible_v<const T &, std::string>)
+            params[key] = value;
+        else
+            params[key] = std::to_string(value);
+    }
+
     /** Speedup helper given a 1-proc elapsed time. */
     double
     speedupOver(Tick seq) const
@@ -47,6 +74,35 @@ struct AppResult
         return elapsed ? double(seq) / double(elapsed) : 0.0;
     }
 };
+
+/**
+ * Copy the cluster's statistics registry into @p result. Call after
+ * the measured region, while the Cluster is still alive; the result
+ * then carries everything a RunReport needs.
+ */
+inline void
+captureStats(AppResult &result, core::Cluster &cluster)
+{
+    result.stats = cluster.sim().stats();
+}
+
+/** Assemble the machine-readable report for a finished run. */
+inline RunReport
+makeReport(const AppResult &r)
+{
+    RunReport rep;
+    rep.app = r.name;
+    rep.nprocs = r.nprocs;
+    rep.elapsed = r.elapsed;
+    rep.messages = r.messages;
+    rep.notifications = r.notifications;
+    rep.checksum = r.checksum;
+    rep.params = r.params;
+    rep.combined = r.combined;
+    rep.perProcess = r.perProcess;
+    rep.stats = r.stats;
+    return rep;
+}
 
 /**
  * Snapshot of cluster-wide message counters, for before/after deltas

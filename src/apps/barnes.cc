@@ -482,9 +482,16 @@ runBarnesSvm(const core::ClusterConfig &cluster_config,
     if (!deadlockedProcesses(cluster).empty())
         std::fprintf(stderr, "%s", rt.debugState().c_str());
     result.elapsed = clock.elapsed();
-    for (int q = 0; q < nprocs; ++q)
+    for (int q = 0; q < nprocs; ++q) {
         result.combined.merge(rt.account(q));
+        result.perProcess.push_back(rt.account(q));
+    }
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("bodies", config.bodies);
+    result.param("timesteps", config.timesteps);
+    result.param("seed", config.seed);
+    result.param("protocol", svm::protocolName(protocol));
+    captureStats(result, cluster);
     return result;
 }
 
@@ -733,9 +740,16 @@ runBarnesNx(const core::ClusterConfig &cluster_config, bool use_au,
     cluster.run();
     warnIfDeadlocked(cluster, result.name.c_str());
     result.elapsed = clock.elapsed();
-    for (int q = 0; q < nprocs; ++q)
+    for (int q = 0; q < nprocs; ++q) {
         result.combined.merge(accounts[q]);
+        result.perProcess.push_back(accounts[q]);
+    }
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("bodies", config.bodies);
+    result.param("timesteps", config.timesteps);
+    result.param("seed", config.seed);
+    result.param("transfer", use_au ? "au" : "du");
+    captureStats(result, cluster);
     return result;
 }
 

@@ -172,10 +172,17 @@ runDfs(const core::ClusterConfig &cluster_config, const DfsConfig &config)
     cluster.run();
     warnIfDeadlocked(cluster, result.name.c_str());
     result.elapsed = clock.elapsed();
-    for (auto &a : accounts)
+    for (auto &a : accounts) {
         result.combined.merge(a);
+        result.perProcess.push_back(a);
+    }
     result.checksum = grand_checksum;
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("servers", config.servers);
+    result.param("clients", config.clients);
+    result.param("block_bytes", config.blockBytes);
+    result.param("files_per_client", config.filesPerClient);
+    captureStats(result, cluster);
     return result;
 }
 

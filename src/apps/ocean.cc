@@ -179,9 +179,15 @@ runOceanSvm(const core::ClusterConfig &cluster_config,
     cluster.run();
     warnIfDeadlocked(cluster, result.name.c_str());
     result.elapsed = clock.elapsed();
-    for (int q = 0; q < nprocs; ++q)
+    for (int q = 0; q < nprocs; ++q) {
         result.combined.merge(rt.account(q));
+        result.perProcess.push_back(rt.account(q));
+    }
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("n", config.n);
+    result.param("iterations", config.iterations);
+    result.param("protocol", svm::protocolName(protocol));
+    captureStats(result, cluster);
     return result;
 }
 
@@ -301,10 +307,15 @@ runOceanNx(const core::ClusterConfig &cluster_config, bool use_au,
     double total = 0.0;
     for (int q = 0; q < nprocs; ++q) {
         result.combined.merge(accounts[q]);
+        result.perProcess.push_back(accounts[q]);
         total += final_checksums[q];
     }
     result.checksum = std::uint64_t(total * 1000.0);
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("n", config.n);
+    result.param("iterations", config.iterations);
+    result.param("transfer", use_au ? "au" : "du");
+    captureStats(result, cluster);
     return result;
 }
 

@@ -174,9 +174,17 @@ runRadixSvm(const core::ClusterConfig &cluster_config,
     cluster.run();
     warnIfDeadlocked(cluster, result.name.c_str());
     result.elapsed = clock.elapsed();
-    for (int q = 0; q < nprocs; ++q)
+    for (int q = 0; q < nprocs; ++q) {
         result.combined.merge(rt.account(q));
+        result.perProcess.push_back(rt.account(q));
+    }
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("keys", config.keys);
+    result.param("iterations", config.iterations);
+    result.param("radix_bits", config.radixBits);
+    result.param("seed", config.seed);
+    result.param("protocol", svm::protocolName(protocol));
+    captureStats(result, cluster);
     return result;
 }
 
@@ -463,6 +471,12 @@ runRadixVmmc(const core::ClusterConfig &cluster_config, bool use_au,
     warnIfDeadlocked(cluster, result.name.c_str());
     result.elapsed = clock.elapsed();
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("keys", config.keys);
+    result.param("iterations", config.iterations);
+    result.param("radix_bits", config.radixBits);
+    result.param("seed", config.seed);
+    result.param("transfer", use_au ? "au" : "du");
+    captureStats(result, cluster);
     return result;
 }
 

@@ -137,11 +137,16 @@ runRender(const core::ClusterConfig &cluster_config,
     warnIfDeadlocked(cluster, result.name.c_str());
     result.elapsed = finished > started ? finished - started : 0;
     result.combined.merge(controller_account);
+    result.perProcess.push_back(controller_account);
     std::uint64_t sum = 0;
     for (char ch : state->image)
         sum += std::uint8_t(ch);
     result.checksum = sum;
     recordMessages(result, before, MessageSnapshot::take(cluster));
+    result.param("workers", config.workers);
+    result.param("image_size", config.imageSize);
+    result.param("tile_size", config.tileSize);
+    captureStats(result, cluster);
     return result;
 }
 

@@ -2,12 +2,14 @@
 
 #include "core/vmmc.hh"
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp::core
 {
 
 Cluster::Cluster(const ClusterConfig &config) : _config(config)
 {
+    trace_json::openFromEnv();
     _network = std::make_unique<mesh::Network>(
         _sim, config.meshWidth, config.meshHeight, config.network);
 

@@ -66,6 +66,8 @@ Endpoint::import(NodeId owner, ExportId id)
     if (id >= peer.exports.size())
         fatal("import: node %u has no export %u", owner, id);
     ExportRecord *rec = peer.exports[id].get();
+    if (!rec->live)
+        fatal("import: export %u of node %u was withdrawn", id, owner);
     if (!rec->permissions.permits(_node.id()))
         fatal("import: node %u lacks permission for export %u of "
               "node %u",
@@ -93,7 +95,73 @@ Endpoint::importSize(ProxyId p) const
 {
     if (p >= imports.size())
         fatal("importSize: bad proxy id %u", p);
+    if (!imports[p].live || !imports[p].record->live)
+        fatal("importSize: stale proxy %u", p);
     return imports[p].record->bytes;
+}
+
+void
+Endpoint::unexport(ExportId id)
+{
+    if (id >= exports.size())
+        fatal("unexport: bad export id %u", id);
+    ExportRecord &rec = *exports[id];
+    if (!rec.live)
+        fatal("unexport: export %u already withdrawn", id);
+
+    rec.live = false;
+    rec.handler = nullptr;
+    if (rec.notifications) {
+        rec.notifications = false;
+        for (std::size_t i = 0; i < rec.pages; ++i)
+            _nic.setInterruptEnable(rec.baseFrame + node::Frame(i),
+                                    false);
+    }
+    exportsByFrame.erase(rec.baseFrame);
+
+    // Remote proxies of this buffer go stale: their OPT entries are
+    // torn down, so a racing send faults instead of writing memory
+    // that is no longer pinned. The imports themselves stay around
+    // (still owned by the importer, who may unimport later); their
+    // staleness is visible through record->live.
+    for (int n = 0; n < _cluster.nodeCount(); ++n) {
+        Endpoint &peer = _cluster.vmmc(n);
+        for (Import &imp : peer.imports) {
+            if (imp.record != &rec)
+                continue;
+            for (nic::OptIndex idx : imp.proxyPages)
+                peer._nic.invalidateProxy(idx);
+        }
+    }
+
+    // Unpinning the pages is kernel work, like pinning them was.
+    _node.cpu().compute(Tick(rec.pages) * _node.params().pagePinCost);
+    if (_node.simulation().current())
+        _node.cpu().sync();
+    _node.simulation().stats()
+        .counter(_node.name() + ".vmmc.unexports").inc();
+}
+
+void
+Endpoint::unimport(ProxyId p)
+{
+    if (p >= imports.size())
+        fatal("unimport: bad proxy id %u", p);
+    Import &imp = imports[p];
+    if (!imp.live)
+        fatal("unimport: proxy %u already torn down", p);
+
+    imp.live = false;
+    for (nic::OptIndex idx : imp.proxyPages)
+        _nic.invalidateProxy(idx);
+
+    // Unmapping is kernel work (one trap, per-page table updates).
+    _node.cpu().compute(_node.params().syscallCost +
+                        Tick(imp.proxyPages.size()) * microseconds(1.0));
+    if (_node.simulation().current())
+        _node.cpu().sync();
+    _node.simulation().stats()
+        .counter(_node.name() + ".vmmc.unimports").inc();
 }
 
 void
@@ -103,6 +171,9 @@ Endpoint::send(ProxyId proxy, const void *src, std::size_t bytes,
     if (proxy >= imports.size())
         fatal("send: bad proxy id %u", proxy);
     const Import &imp = imports[proxy];
+    if (!imp.live || !imp.record->live)
+        fatal("send: stale proxy %u (unimported or unexported buffer)",
+              proxy);
     if (dst_offset + bytes > imp.record->bytes)
         fatal("send: transfer overruns the receive buffer");
     if (bytes == 0)
@@ -150,6 +221,9 @@ Endpoint::bindAu(void *local_base, ProxyId proxy, std::size_t dst_offset,
         fatal("bindAu: adapter has no automatic update support");
     if (proxy >= imports.size())
         fatal("bindAu: bad proxy id %u", proxy);
+    if (!imports[proxy].live || !imports[proxy].record->live)
+        fatal("bindAu: stale proxy %u (unimported or unexported "
+              "buffer)", proxy);
     auto &mem = _node.mem();
     if (!mem.contains(local_base) ||
         mem.offsetOf(local_base) % node::kPageBytes != 0)

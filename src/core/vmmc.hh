@@ -98,6 +98,7 @@ struct ExportRecord
     node::Frame baseFrame = node::kInvalidFrame;
     std::size_t pages = 0;
     bool notifications = false;
+    bool live = true; //!< cleared by unexport; imports go stale
     NotificationHandler handler;
     ExportPermissions permissions;
 };
@@ -150,6 +151,20 @@ class Endpoint
 
     /** Size in bytes of an imported buffer. */
     std::size_t importSize(ProxyId p) const;
+
+    /**
+     * Withdraw an export: unpin its pages, disable notifications, and
+     * mark every existing import of it stale — a later send through
+     * such a proxy faults instead of writing freed memory. The id is
+     * not reused. Process context (kernel unpinning work is charged).
+     */
+    void unexport(ExportId id);
+
+    /**
+     * Tear down an import: invalidate its OPT entries so transfers
+     * through the proxy fault. The proxy id is not reused.
+     */
+    void unimport(ProxyId p);
 
     // ------------------------------------------------------------------
     // Deliberate update
@@ -273,6 +288,7 @@ class Endpoint
     {
         ExportRecord *record = nullptr;
         std::vector<nic::OptIndex> proxyPages;
+        bool live = true; //!< cleared by unimport
     };
 
     std::vector<Import> imports;
@@ -280,6 +296,147 @@ class Endpoint
     std::vector<std::unique_ptr<ExportRecord>> exports;
     WaitQueue deliveryWait;
     std::uint64_t _deliveries = 0;
+};
+
+/**
+ * RAII owner of an export: unexports on destruction. Move-only, so a
+ * buffer's lifetime follows the handle like any other resource.
+ */
+class ExportHandle
+{
+  public:
+    ExportHandle() = default;
+
+    /** Export @p bytes at @p base on @p ep (see exportBuffer). */
+    ExportHandle(Endpoint &ep, void *base, std::size_t bytes,
+                 ExportPermissions permissions = ExportPermissions::any())
+        : ep(&ep),
+          _id(ep.exportBuffer(base, bytes, std::move(permissions)))
+    {
+    }
+
+    ~ExportHandle() { reset(); }
+
+    ExportHandle(ExportHandle &&other) noexcept
+        : ep(other.ep), _id(other._id)
+    {
+        other.ep = nullptr;
+        other._id = kInvalidExport;
+    }
+
+    ExportHandle &
+    operator=(ExportHandle &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ep = other.ep;
+            _id = other._id;
+            other.ep = nullptr;
+            other._id = kInvalidExport;
+        }
+        return *this;
+    }
+
+    ExportHandle(const ExportHandle &) = delete;
+    ExportHandle &operator=(const ExportHandle &) = delete;
+
+    /** The underlying export id (valid while the handle owns one). */
+    ExportId id() const { return _id; }
+
+    explicit operator bool() const { return _id != kInvalidExport; }
+
+    /** Give up ownership without unexporting. */
+    ExportId
+    release()
+    {
+        ExportId i = _id;
+        ep = nullptr;
+        _id = kInvalidExport;
+        return i;
+    }
+
+    /** Unexport now (no-op on an empty handle). */
+    void
+    reset()
+    {
+        if (ep && _id != kInvalidExport)
+            ep->unexport(_id);
+        ep = nullptr;
+        _id = kInvalidExport;
+    }
+
+  private:
+    Endpoint *ep = nullptr;
+    ExportId _id = kInvalidExport;
+};
+
+/**
+ * RAII owner of an import: unimports on destruction. Move-only.
+ */
+class ImportHandle
+{
+  public:
+    ImportHandle() = default;
+
+    /** Import export @p id of node @p owner on @p ep (see import). */
+    ImportHandle(Endpoint &ep, NodeId owner, ExportId id)
+        : ep(&ep), _id(ep.import(owner, id))
+    {
+    }
+
+    ~ImportHandle() { reset(); }
+
+    ImportHandle(ImportHandle &&other) noexcept
+        : ep(other.ep), _id(other._id)
+    {
+        other.ep = nullptr;
+        other._id = kInvalidProxy;
+    }
+
+    ImportHandle &
+    operator=(ImportHandle &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ep = other.ep;
+            _id = other._id;
+            other.ep = nullptr;
+            other._id = kInvalidProxy;
+        }
+        return *this;
+    }
+
+    ImportHandle(const ImportHandle &) = delete;
+    ImportHandle &operator=(const ImportHandle &) = delete;
+
+    /** The underlying proxy id (valid while the handle owns one). */
+    ProxyId id() const { return _id; }
+
+    explicit operator bool() const { return _id != kInvalidProxy; }
+
+    /** Give up ownership without unimporting. */
+    ProxyId
+    release()
+    {
+        ProxyId i = _id;
+        ep = nullptr;
+        _id = kInvalidProxy;
+        return i;
+    }
+
+    /** Unimport now (no-op on an empty handle). */
+    void
+    reset()
+    {
+        if (ep && _id != kInvalidProxy)
+            ep->unimport(_id);
+        ep = nullptr;
+        _id = kInvalidProxy;
+    }
+
+  private:
+    Endpoint *ep = nullptr;
+    ProxyId _id = kInvalidProxy;
 };
 
 } // namespace shrimp::core

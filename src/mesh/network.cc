@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp::mesh
 {
@@ -13,6 +14,17 @@ Network::Network(Simulation &sim, int width, int height,
       receivers(topo.nodeCount()),
       linkBusyUntil(topo.linkCount(), 0)
 {
+}
+
+int
+Network::linkTrack(int link)
+{
+    if (linkTracks.empty())
+        linkTracks.assign(topo.linkCount(), -1);
+    int &t = linkTracks[link];
+    if (t < 0)
+        t = trace_json::track(strfmt("mesh.link%d", link));
+    return t;
 }
 
 void
@@ -44,6 +56,7 @@ Network::send(Packet pkt)
 
     Tick serialization = transferTime(pkt.wireBytes,
                                       _params.linkBytesPerSec);
+    bool tracing = trace_json::enabled();
 
     // Head enters the backplane through the injection transceiver.
     Tick head = sim.now() + _params.transceiverLatency;
@@ -58,6 +71,13 @@ Network::send(Packet pkt)
             stats.accumulator("mesh.link_stall_ps")
                 .sample(double(start - head));
         }
+        if (tracing) {
+            // One hop span per link the packet's body streams through.
+            trace_json::completeEvent(
+                linkTrack(link), "hop", start, start + serialization,
+                strfmt("{\"src\":%u,\"dst\":%u,\"bytes\":%u}", pkt.src,
+                       pkt.dst, pkt.wireBytes));
+        }
         tail_at_last_link_start = start;
         head = start + _params.hopLatency;
     }
@@ -65,6 +85,13 @@ Network::send(Packet pkt)
     // Tail arrival: the last link streams the body after its start.
     Tick deliver = tail_at_last_link_start + _params.hopLatency +
                    serialization + _params.transceiverLatency;
+
+    if (tracing) {
+        trace_json::completeEvent(
+            trace_json::track("mesh"), "pkt", sim.now(), deliver,
+            strfmt("{\"src\":%u,\"dst\":%u,\"bytes\":%u}", pkt.src,
+                   pkt.dst, pkt.wireBytes));
+    }
 
     auto p = std::make_shared<Packet>(std::move(pkt));
     sim.schedule(deliver - sim.now(),

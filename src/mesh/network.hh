@@ -78,11 +78,15 @@ class Network
     const NetworkParams &params() const { return _params; }
 
   private:
+    /** Cached trace track id for @p link ("mesh.linkN"). */
+    int linkTrack(int link);
+
     Simulation &sim;
     Topology topo;
     NetworkParams _params;
     std::vector<Receiver> receivers;
     std::vector<Tick> linkBusyUntil;
+    std::vector<int> linkTracks;
 };
 
 } // namespace shrimp::mesh

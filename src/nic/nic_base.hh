@@ -87,6 +87,9 @@ class NicBase
         return _opt.allocate(dst_node, dst_frame);
     }
 
+    /** Tear down a proxy page mapping; later transfers fault. */
+    void invalidateProxy(OptIndex idx) { _opt.invalidate(idx); }
+
     /** Receiver-side interrupt enable bit for an exported page. */
     void
     setInterruptEnable(node::Frame frame, bool enable)

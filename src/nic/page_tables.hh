@@ -42,6 +42,7 @@ struct OptEntry
     bool auEnabled = false;        //!< automatic update on this page
     bool combining = false;        //!< AU combining enabled
     bool interruptRequest = false; //!< AU packets request an interrupt
+    bool valid = true;             //!< cleared when the import is torn down
 };
 
 /**
@@ -55,17 +56,33 @@ class OutgoingPageTable
     allocate(NodeId dst_node, node::Frame dst_frame)
     {
         proxyEntries.push_back(
-            OptEntry{dst_node, dst_frame, false, false, false});
+            OptEntry{dst_node, dst_frame, false, false, false, true});
         return OptIndex(proxyEntries.size() - 1);
     }
 
-    /** Look up a proxy entry. */
+    /** Look up a proxy entry; transfers through dead entries fault. */
     const OptEntry &
     proxy(OptIndex idx) const
     {
         if (idx >= proxyEntries.size())
             panic("OPT proxy index %u out of range", idx);
+        if (!proxyEntries[idx].valid)
+            fatal("OPT proxy entry %u is stale (unimported or "
+                  "unexported buffer)", idx);
         return proxyEntries[idx];
+    }
+
+    /**
+     * Invalidate a proxy entry when its import (or the underlying
+     * export) is torn down. Indices are never reused, so stale sends
+     * hit the dead entry instead of someone else's memory.
+     */
+    void
+    invalidate(OptIndex idx)
+    {
+        if (idx >= proxyEntries.size())
+            panic("OPT invalidate: index %u out of range", idx);
+        proxyEntries[idx].valid = false;
     }
 
     /**

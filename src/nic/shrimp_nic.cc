@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp::nic
 {
@@ -30,6 +31,14 @@ ShrimpNic::ShrimpNic(node::Node &n, mesh::Network &net,
 {
     _net.attach(n.id(), [this](const mesh::Packet &p) { receive(p); });
     sim.spawn(statPrefix + ".du_engine", [this] { duEngineBody(); });
+}
+
+int
+ShrimpNic::traceTrack()
+{
+    if (_traceTrack < 0)
+        _traceTrack = trace_json::track(statPrefix);
+    return _traceTrack;
 }
 
 void
@@ -64,7 +73,9 @@ ShrimpNic::submitDeliberate(const DuRequest &req)
         panic("deliberate update size %u invalid", req.bytes);
 
     // The two-instruction UDMA initiation sequence plus the library's
-    // protection bookkeeping.
+    // protection bookkeeping. The span also covers any queue-full wait
+    // below, so the trace shows true per-send initiation cost.
+    trace_json::Span span(traceTrack(), "du_submit");
     cpu.compute(_params.udmaIssueCost);
     cpu.sync();
 
@@ -131,6 +142,12 @@ ShrimpNic::duEngineBody()
         Tick inj = std::max(sim.now(), chipBusyUntil) +
                    transferTime(wire, link_bw);
         chipBusyUntil = inj;
+
+        if (trace_json::enabled())
+            trace_json::completeEvent(
+                traceTrack(), "du_xfer", start, inj,
+                strfmt("{\"bytes\":%llu,\"dst\":%u}",
+                       (unsigned long long)bytes, dst));
 
         auto payload = std::make_shared<NicPayload>();
         payload->body = std::move(pkt);
@@ -283,7 +300,10 @@ ShrimpNic::flushTrain(AuTrain &train)
                       double(_params.outFifoBytes));
     if (_fifoFill > threshold && !fifoStalled) {
         fifoStalled = true;
+        fifoStallStart = sim.now();
         sim.stats().counter(statPrefix + ".fifo_threshold_irqs").inc();
+        if (trace_json::enabled())
+            trace_json::instantEvent(traceTrack(), "fifo_threshold_irq");
         _node.os().interrupt(_params.fifoInterruptCost);
     }
 
@@ -291,6 +311,12 @@ ShrimpNic::flushTrain(AuTrain &train)
                         chipBusyUntil) +
                transferTime(wire, link_bw);
     chipBusyUntil = inj;
+
+    if (trace_json::enabled())
+        trace_json::completeEvent(
+            traceTrack(), "au_train", sim.now(), inj,
+            strfmt("{\"packets\":%u,\"bytes\":%u}", train.packetCount,
+                   data_bytes));
 
     AuTrainPacket pkt;
     pkt.srcNode = nodeId();
@@ -343,6 +369,9 @@ ShrimpNic::fifoCredit(std::uint32_t wire_bytes)
                                 double(_params.outFifoBytes));
     if (fifoStalled && _fifoFill <= resume) {
         fifoStalled = false;
+        if (trace_json::enabled())
+            trace_json::completeEvent(traceTrack(), "fifo_stall",
+                                      fifoStallStart, sim.now());
         fifoWait.wakeAll(sim);
     }
 }
@@ -379,6 +408,12 @@ ShrimpNic::receive(const mesh::Packet &pkt)
 
     sim.stats().counter(statPrefix + ".packets_in").inc(packets);
     sim.stats().counter(statPrefix + ".bytes_in").inc(data_bytes);
+
+    if (trace_json::enabled())
+        trace_json::completeEvent(
+            traceTrack(), "rx", start, done,
+            strfmt("{\"packets\":%u,\"bytes\":%u,\"src\":%u}", packets,
+                   data_bytes, pkt.src));
 
     sim.schedule(done - sim.now(), [this, payload] {
         auto &mem = _node.mem();
@@ -432,6 +467,11 @@ ShrimpNic::finishDelivery(const Delivery &d, bool want_notify)
     // application once the handler has run.
     Delivery copy = d;
     copy.notify = want_notify;
+
+    if (want_notify && trace_json::enabled())
+        trace_json::instantEvent(
+            traceTrack(), "notify",
+            strfmt("{\"src\":%u,\"bytes\":%u}", d.srcNode, d.bytes));
 
     if (_params.interruptPerMessage && d.endOfMessage) {
         Tick handler_done =

@@ -137,9 +137,14 @@ class ShrimpNic : public NicBase
     void receive(const mesh::Packet &pkt);
     void finishDelivery(const Delivery &d, bool want_notify);
 
+    /** Cached trace track id ("<node>.nic"). */
+    int traceTrack();
+
     Simulation &sim;
     ShrimpNicParams _params;
     std::string statPrefix;
+    int _traceTrack = -1;
+    Tick fifoStallStart = 0;
 
     // Deliberate update engine.
     std::deque<DuPacket> duQueue;

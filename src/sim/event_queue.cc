@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp
 {
@@ -39,6 +40,11 @@ EventQueue::step()
             continue;
         _now = ev.when;
         ++_executed;
+        // Periodic queue-depth samples give the trace a load track
+        // without a per-event cost.
+        if (trace_json::enabled() && (_executed & 0x3ff) == 0)
+            trace_json::counterEvent("events.pending",
+                                     double(events.size()));
         ev.fn();
         return true;
     }

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * RunReport — the machine-readable result of one simulated run.
+ *
+ * Bundles what every experiment needs to diff or plot: workload
+ * identity and parameters, elapsed simulated time, message and
+ * notification totals, the Figure-4 time-category breakdown (combined
+ * and per process), and a full snapshot of the statistics registry.
+ * Serializes to a stable JSON document (schema_version field): two
+ * identical seeded runs produce byte-identical reports.
+ *
+ * Consumers: `shrimp_run --stats-json FILE` writes one pretty report;
+ * the bench harness appends compact one-line reports to the file
+ * named by SHRIMP_REPORT_JSONL.
+ */
+
+#ifndef SHRIMP_SIM_RUN_REPORT_HH
+#define SHRIMP_SIM_RUN_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/time_account.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+struct RunReport
+{
+    /** Bump when a field changes meaning or layout. */
+    static constexpr int kSchemaVersion = 1;
+
+    std::string app;
+    int nprocs = 0;
+
+    /** Simulated wall time of the measured region. */
+    Tick elapsed = 0;
+
+    std::uint64_t messages = 0;
+    std::uint64_t notifications = 0;
+    std::uint64_t checksum = 0;
+
+    /** Workload knobs (sizes, protocol, seed, CLI what-ifs). */
+    std::map<std::string, std::string> params;
+
+    /** Sum of the per-process accounts. */
+    TimeAccount combined;
+
+    /** Figure-4 categories for each accounted process, rank order. */
+    std::vector<TimeAccount> perProcess;
+
+    /** Snapshot of every counter/accumulator/histogram of the run. */
+    StatsRegistry stats;
+
+    /** Serialize; @p pretty selects indented vs single-line output. */
+    void writeJson(std::ostream &os, bool pretty = true) const;
+
+    /** writeJson into a string. */
+    std::string toJson(bool pretty = true) const;
+
+    /** Write a pretty report to @p path (fatal on I/O error). */
+    void writeFile(const std::string &path) const;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_RUN_REPORT_HH

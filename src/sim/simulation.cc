@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp
 {
@@ -88,6 +89,7 @@ Simulation::spawn(std::string name, std::function<void()> body,
         new Process(*this, std::move(name), std::move(body), stack_bytes));
     Process *p = proc.get();
     processes.push_back(std::move(proc));
+    p->traceSpawnAt = now();
     p->state = Process::State::Suspended;
     p->resumeScheduled = true;
     schedule(0, [this, p] {
@@ -118,12 +120,22 @@ Simulation::suspend()
         p->wakePending = false;
         return;
     }
+    if (trace_json::enabled())
+        p->traceSuspendAt = now();
     p->state = Process::State::Suspended;
     _current = nullptr;
     p->fiber.yield();
     // Resumed.
     _current = p;
     p->state = Process::State::Running;
+    if (trace_json::enabled() && p->traceSuspendAt != kTickNever &&
+        now() > p->traceSuspendAt) {
+        if (p->traceTrack < 0)
+            p->traceTrack = trace_json::track(p->_name);
+        trace_json::completeEvent(p->traceTrack, "blocked",
+                                  p->traceSuspendAt, now());
+    }
+    p->traceSuspendAt = kTickNever;
 }
 
 void
@@ -155,8 +167,15 @@ Simulation::resumeProcess(Process *p)
     p->fiber.resume();
     // The fiber either yielded (suspend updated the state already) or
     // finished.
-    if (p->fiber.finished())
+    if (p->fiber.finished()) {
         p->state = Process::State::Finished;
+        if (trace_json::enabled()) {
+            if (p->traceTrack < 0)
+                p->traceTrack = trace_json::track(p->_name);
+            trace_json::completeEvent(p->traceTrack, "proc",
+                                      p->traceSpawnAt, now());
+        }
+    }
     _current = nullptr;
 }
 

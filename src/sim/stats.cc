@@ -2,8 +2,36 @@
 
 #include <iomanip>
 
+#include "sim/json.hh"
+
 namespace shrimp
 {
+
+double
+Histogram::percentile(double p) const
+{
+    std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max();
+
+    double target = p / 100.0 * double(n);
+    double cum = double(_underflow);
+    if (cum >= target)
+        return _lo;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        double next = cum + double(_buckets[i]);
+        if (next >= target && _buckets[i] > 0) {
+            double frac = (target - cum) / double(_buckets[i]);
+            return _lo + (double(i) + frac) * bucketWidth();
+        }
+        cum = next;
+    }
+    return _hi;
+}
 
 std::uint64_t
 StatsRegistry::sumCounters(const std::string &prefix) const
@@ -25,6 +53,8 @@ StatsRegistry::reset()
         kv.second.reset();
     for (auto &kv : accumulators)
         kv.second.reset();
+    for (auto &kv : histograms)
+        kv.second.reset();
 }
 
 void
@@ -38,6 +68,58 @@ StatsRegistry::dump(std::ostream &os) const
            << " mean=" << a.mean() << " min=" << a.min()
            << " max=" << a.max() << "\n";
     }
+    for (const auto &kv : histograms) {
+        const auto &h = kv.second;
+        os << kv.first << " count=" << h.count()
+           << " mean=" << h.mean() << " p50=" << h.percentile(50)
+           << " p95=" << h.percentile(95) << " min=" << h.min()
+           << " max=" << h.max() << " under=" << h.underflow()
+           << " over=" << h.overflow() << "\n";
+    }
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject("counters");
+    for (const auto &kv : counters)
+        w.field(kv.first, kv.second.value());
+    w.endObject();
+
+    w.beginObject("accumulators");
+    for (const auto &kv : accumulators) {
+        const auto &a = kv.second;
+        w.beginObject(kv.first);
+        w.field("count", a.count());
+        w.field("sum", a.sum());
+        w.field("mean", a.mean());
+        w.field("min", a.min());
+        w.field("max", a.max());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginObject("histograms");
+    for (const auto &kv : histograms) {
+        const auto &h = kv.second;
+        w.beginObject(kv.first);
+        w.field("count", h.count());
+        w.field("mean", h.mean());
+        w.field("min", h.min());
+        w.field("max", h.max());
+        w.field("p50", h.percentile(50));
+        w.field("p95", h.percentile(95));
+        w.field("lo", h.lo());
+        w.field("hi", h.hi());
+        w.field("underflow", h.underflow());
+        w.field("overflow", h.overflow());
+        w.beginArray("buckets");
+        for (std::size_t i = 0; i < h.bucketCount(); ++i)
+            w.value(h.bucket(i));
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
 }
 
 } // namespace shrimp

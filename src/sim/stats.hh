@@ -1,7 +1,12 @@
 /**
  * @file
  * A small statistics package: named counters, scalars and histograms
- * collected in a registry and dumpable in a stable, sorted format.
+ * collected in a registry, dumpable in a stable, sorted text format
+ * and serializable to JSON (RunReport).
+ *
+ * A StatsRegistry is an ordinary value: copying it snapshots every
+ * statistic, which is how results outlive the Simulation that
+ * produced them (see apps::AppResult::stats).
  */
 
 #ifndef SHRIMP_SIM_STATS_HH
@@ -15,6 +20,8 @@
 
 namespace shrimp
 {
+
+class JsonWriter;
 
 /** Monotonic event counter. */
 class Counter
@@ -65,6 +72,85 @@ class Accumulator
 };
 
 /**
+ * Fixed-bucket histogram over [lo, hi) with underflow/overflow bins.
+ *
+ * Buckets are linear; reconfiguring clears the samples. The summary
+ * accessors (mean/min/max) come from exact running sums, while
+ * percentile() interpolates within its bucket, so its resolution is
+ * one bucket width.
+ */
+class Histogram
+{
+  public:
+    Histogram() { configure(0.0, 100.0, 20); }
+
+    /** Set the range and bucket count; clears all samples. */
+    void
+    configure(double lo, double hi, std::size_t buckets)
+    {
+        _lo = lo;
+        _hi = hi > lo ? hi : lo + 1.0;
+        _buckets.assign(buckets ? buckets : 1, 0);
+        reset();
+    }
+
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        summary.sample(v);
+        if (v < _lo) {
+            ++_underflow;
+        } else if (v >= _hi) {
+            ++_overflow;
+        } else {
+            auto i = std::size_t((v - _lo) / bucketWidth());
+            if (i >= _buckets.size()) // guard fp edge at hi
+                i = _buckets.size() - 1;
+            ++_buckets[i];
+        }
+    }
+
+    std::uint64_t count() const { return summary.count(); }
+    double sum() const { return summary.sum(); }
+    double mean() const { return summary.mean(); }
+    double min() const { return summary.min(); }
+    double max() const { return summary.max(); }
+
+    double lo() const { return _lo; }
+    double hi() const { return _hi; }
+    double bucketWidth() const { return (_hi - _lo) / double(_buckets.size()); }
+    std::size_t bucketCount() const { return _buckets.size(); }
+    std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    /**
+     * Value at percentile @p p (0..100), linearly interpolated within
+     * its bucket. Underflow samples resolve to lo, overflow to hi.
+     */
+    double percentile(double p) const;
+
+    /** Clear all samples; keeps the bucket configuration. */
+    void
+    reset()
+    {
+        summary.reset();
+        _underflow = _overflow = 0;
+        for (auto &b : _buckets)
+            b = 0;
+    }
+
+  private:
+    double _lo = 0.0;
+    double _hi = 100.0;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    Accumulator summary;
+};
+
+/**
  * Flat registry of named statistics.
  *
  * Names are hierarchical by convention ("node3.nic.packets_in").
@@ -81,6 +167,26 @@ class StatsRegistry
     accumulator(const std::string &name)
     {
         return accumulators[name];
+    }
+
+    /** Get (or create, default-configured) the histogram @p name. */
+    Histogram &histogram(const std::string &name)
+    {
+        return histograms[name];
+    }
+
+    /**
+     * Get the histogram @p name, configuring its range on first use.
+     * An existing histogram's configuration is left untouched.
+     */
+    Histogram &
+    histogram(const std::string &name, double lo, double hi,
+              std::size_t buckets)
+    {
+        auto [it, inserted] = histograms.try_emplace(name);
+        if (inserted)
+            it->second.configure(lo, hi, buckets);
+        return it->second;
     }
 
     /** @return the counter value, or 0 if never touched. */
@@ -100,9 +206,17 @@ class StatsRegistry
     /** Write all statistics, sorted by name. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Serialize into the writer's currently open object as three
+     * keyed sub-objects — "counters", "accumulators", "histograms" —
+     * each sorted by name (stable output).
+     */
+    void writeJson(JsonWriter &w) const;
+
   private:
     std::map<std::string, Counter> counters;
     std::map<std::string, Accumulator> accumulators;
+    std::map<std::string, Histogram> histograms;
 };
 
 } // namespace shrimp

@@ -8,6 +8,7 @@
 #include "svm/diff.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp::svm
 {
@@ -146,6 +147,7 @@ struct SvmRuntime::RankState
     // Debug: last blocking operation entered.
     const char *lastOp = "init";
     int lastArg = -1;
+    int traceTrack = -1; //!< cached "<node>.svm" trace track
     std::uint32_t handlerActive = 0; //!< kind being handled, 0 = idle
     std::uint64_t handlersRun = 0;
 };
@@ -485,6 +487,16 @@ SvmRuntime::writeStruct(int rank, void *caddr, const void *src,
     writeRange(rank, caddr, src, bytes);
 }
 
+int
+SvmRuntime::traceTrack(int rank)
+{
+    RankState &rs = *ranks[rank];
+    if (rs.traceTrack < 0)
+        rs.traceTrack =
+            trace_json::track(cluster.node(rank).name() + ".svm");
+    return rs.traceTrack;
+}
+
 void
 SvmRuntime::fetchPage(int rank, PageId page)
 {
@@ -508,8 +520,14 @@ SvmRuntime::fetchPage(int rank, PageId page)
     CtlHeader h{kPageReq, std::uint32_t(rank), page, stamp, 0, 0};
     sendCtl(rank, home, &h, sizeof(h));
 
+    Tick fetch_start = cluster.sim().now();
     volatile std::uint64_t *fs = &rs.ctl->fetchStamp;
     ep.waitUntil([fs, stamp] { return *fs >= stamp; });
+
+    if (trace_json::enabled())
+        trace_json::completeEvent(
+            traceTrack(rank), "fetch", fetch_start,
+            cluster.sim().now(), strfmt("{\"page\":%u}", page));
 
     rs.pages[page].valid = true;
 }
@@ -523,6 +541,7 @@ SvmRuntime::makeTwin(int rank, PageId page)
         return;
     cluster.node(rank).cpu().sync();
     ScopedCategory cat(&rs.account, TimeCategory::Overhead);
+    trace_json::Span span(traceTrack(rank), "twin");
     char *local = replicas[rank] +
                   std::size_t(page) * node::kPageBytes;
     ps.twin = std::make_unique<std::vector<char>>(
@@ -567,6 +586,7 @@ SvmRuntime::capturePendingDiff(int rank, PageId page)
 
     cluster.node(rank).cpu().sync();
     ScopedCategory cat(&rs.account, TimeCategory::Overhead);
+    Tick diff_start = cluster.sim().now();
     char *local = replicas[rank] +
                   std::size_t(page) * node::kPageBytes;
     std::vector<char> blob = encodeDiff(ps.twin->data(), local);
@@ -574,6 +594,11 @@ SvmRuntime::capturePendingDiff(int rank, PageId page)
     cpu.compute(cfg.diffBaseCost);
     cpu.chargeCopy(2 * node::kPageBytes); // the scan reads both copies
     cpu.sync();
+
+    if (trace_json::enabled())
+        trace_json::completeEvent(
+            traceTrack(rank), "diff", diff_start, cluster.sim().now(),
+            strfmt("{\"page\":%u,\"bytes\":%zu}", page, blob.size()));
 
     ++rs.diffCount;
     cluster.sim().stats()
@@ -1031,6 +1056,7 @@ SvmRuntime::handleCtl(int rank, NodeId src, std::uint32_t offset,
 
     rs.handlerActive = h.kind;
     ++rs.handlersRun;
+    Tick handler_start = cluster.sim().now();
     cpu.compute(cfg.handlerCost);
     cpu.sync();
 
@@ -1113,6 +1139,11 @@ SvmRuntime::handleCtl(int rank, NodeId src, std::uint32_t offset,
     if (h.cursorAfter > rs.ctlProcessed[sender])
         rs.ctlProcessed[sender] = h.cursorAfter;
     rs.handlerActive = 0;
+
+    if (trace_json::enabled())
+        trace_json::completeEvent(
+            traceTrack(rank), "handler", handler_start,
+            cluster.sim().now(), strfmt("{\"kind\":%u}", h.kind));
 }
 
 } // namespace shrimp::svm

@@ -7,11 +7,13 @@
  *   shrimp_run --app radix-vmmc --procs 16 --au
  *   shrimp_run --app radix-svm --protocol aurc --keys 524288
  *   shrimp_run --app barnes-svm --procs 8 --no-udma
- *   shrimp_run --app dfs --no-combining --au
+ *   shrimp_run --app radix-svm --stats-json report.json --trace t.json
  *
  * Every what-if knob of the paper's Sec 4 is exposed: kernel-mediated
  * sends (--no-udma), forced per-message interrupts, combining, FIFO
  * capacity, DU queue depth, and the baseline Myrinet-style NIC.
+ * Observability: --stats-json writes the machine-readable RunReport,
+ * --trace records a Chrome trace_event timeline (see README).
  */
 
 #include <cstdio>
@@ -25,6 +27,8 @@
 #include "apps/ocean.hh"
 #include "apps/radix.hh"
 #include "apps/render.hh"
+#include "sim/run_report.hh"
+#include "sim/trace_json.hh"
 
 using namespace shrimp;
 using namespace shrimp::apps;
@@ -33,6 +37,11 @@ using shrimp::svm::Protocol;
 namespace
 {
 
+constexpr const char *kApps[] = {
+    "radix-svm", "radix-vmmc", "ocean-svm", "ocean-nx",
+    "barnes-svm", "barnes-nx", "dfs", "render",
+};
+
 [[noreturn]] void
 usage(const char *argv0)
 {
@@ -40,7 +49,7 @@ usage(const char *argv0)
         "usage: %s --app <name> [options]\n"
         "\n"
         "apps: radix-svm radix-vmmc ocean-svm ocean-nx barnes-svm\n"
-        "      barnes-nx dfs render\n"
+        "      barnes-nx dfs render   (--list-apps prints one per line)\n"
         "\n"
         "workload options:\n"
         "  --procs N          processors (default 16)\n"
@@ -59,6 +68,11 @@ usage(const char *argv0)
         "  --no-combining     disable AU combining (Sec 4.5.1)\n"
         "  --fifo BYTES       outgoing FIFO capacity (Sec 4.5.2)\n"
         "  --du-queue N       DU request queue depth (Sec 4.5.3)\n"
+        "\n"
+        "observability:\n"
+        "  --stats-json FILE  write the JSON run report to FILE\n"
+        "  --trace FILE       record a Chrome trace_event timeline\n"
+        "  --list-apps        print the app names and exit\n"
         "",
         argv0);
     std::exit(2);
@@ -70,27 +84,40 @@ struct Options
     int procs = 16;
     Protocol protocol = Protocol::AURC;
     bool useAu = true;
+    bool auGiven = false; //!< --au/--du appeared on the command line
     std::size_t keys = 262144;
     int grid = 130;
     int bodies = 4096;
     int steps = -1;
     std::uint64_t seed = 0;
+    std::string statsJson; //!< --stats-json destination, empty = off
+    std::string traceFile; //!< --trace destination, empty = off
     core::ClusterConfig cluster;
+
+    /** The single command-line entry point. Exits on bad input. */
+    static Options parse(int argc, char **argv);
 };
 
 Options
-parse(int argc, char **argv)
+Options::parse(int argc, char **argv)
 {
     Options o;
     auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs an argument\n", argv[0],
+                         argv[i]);
             usage(argv[0]);
+        }
         return argv[++i];
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--app") {
             o.app = need(i);
+        } else if (a == "--list-apps") {
+            for (const char *name : kApps)
+                std::printf("%s\n", name);
+            std::exit(0);
         } else if (a == "--procs") {
             o.procs = std::atoi(need(i));
         } else if (a == "--protocol") {
@@ -101,12 +128,17 @@ parse(int argc, char **argv)
                 o.protocol = Protocol::HLRC_AU;
             else if (p == "aurc")
                 o.protocol = Protocol::AURC;
-            else
+            else {
+                std::fprintf(stderr, "%s: unknown protocol '%s'\n",
+                             argv[0], p.c_str());
                 usage(argv[0]);
+            }
         } else if (a == "--au") {
             o.useAu = true;
+            o.auGiven = true;
         } else if (a == "--du") {
             o.useAu = false;
+            o.auGiven = true;
         } else if (a == "--keys") {
             o.keys = std::strtoull(need(i), nullptr, 10);
         } else if (a == "--grid") {
@@ -121,8 +153,11 @@ parse(int argc, char **argv)
             std::string n = need(i);
             if (n == "baseline")
                 o.cluster.nicKind = core::NicKind::Baseline;
-            else if (n != "shrimp")
+            else if (n != "shrimp") {
+                std::fprintf(stderr, "%s: unknown nic '%s'\n", argv[0],
+                             n.c_str());
                 usage(argv[0]);
+            }
         } else if (a == "--no-udma") {
             o.cluster.udmaSends = false;
         } else if (a == "--interrupt-per-message") {
@@ -134,12 +169,20 @@ parse(int argc, char **argv)
                 std::uint32_t(std::atoi(need(i)));
         } else if (a == "--du-queue") {
             o.cluster.shrimpNic.duQueueDepth = std::atoi(need(i));
+        } else if (a == "--stats-json") {
+            o.statsJson = need(i);
+        } else if (a == "--trace") {
+            o.traceFile = need(i);
         } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         a.c_str());
             usage(argv[0]);
         }
     }
-    if (o.app.empty())
+    if (o.app.empty()) {
+        std::fprintf(stderr, "%s: --app is required\n", argv[0]);
         usage(argv[0]);
+    }
     return o;
 }
 
@@ -188,7 +231,8 @@ runApp(const Options &o)
         cfg.useAutomaticUpdate = o.useAu;
         return runRender(o.cluster, cfg);
     }
-    std::fprintf(stderr, "unknown app '%s'\n", o.app.c_str());
+    std::fprintf(stderr, "unknown app '%s' (try --list-apps)\n",
+                 o.app.c_str());
     std::exit(2);
 }
 
@@ -197,18 +241,19 @@ runApp(const Options &o)
 int
 main(int argc, char **argv)
 {
-    Options o = parse(argc, argv);
+    Options o = Options::parse(argc, argv);
 
     // DFS/render default to DU like the paper's runs; the flag must
     // be given explicitly to force AU.
-    bool au_given = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]) == "--au")
-            au_given = true;
-    if ((o.app == "dfs" || o.app == "render") && !au_given)
+    if ((o.app == "dfs" || o.app == "render") && !o.auGiven)
         o.useAu = false;
 
+    if (!o.traceFile.empty())
+        trace_json::open(o.traceFile);
+
     AppResult r = runApp(o);
+
+    trace_json::close();
 
     std::printf("app:            %s\n", r.name.c_str());
     std::printf("processors:     %d\n", r.nprocs);
@@ -233,6 +278,19 @@ main(int argc, char **argv)
                             total);
         }
         std::printf("\n");
+    }
+
+    if (!o.statsJson.empty()) {
+        // CLI knobs ride along so the report identifies the exact run.
+        r.param("cli_app", o.app);
+        r.param("cli_procs", o.procs);
+        if (o.cluster.nicKind == core::NicKind::Baseline)
+            r.param("cli_nic", "baseline");
+        if (!o.cluster.udmaSends)
+            r.param("cli_no_udma", "1");
+        RunReport rep = makeReport(r);
+        rep.writeFile(o.statsJson);
+        std::printf("report:         %s\n", o.statsJson.c_str());
     }
     return 0;
 }

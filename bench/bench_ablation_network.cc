@@ -79,19 +79,36 @@ main()
     std::printf("%-26s %12s %14s %14s\n", "backplane", "lat (us)",
                 "Radix-AU (ms)", "Ocean-NX (ms)");
 
+    // One row per backplane; each cell is an independent sweep job.
+    std::vector<std::function<double()>> lat_jobs;
+    std::vector<std::function<apps::AppResult()>> app_jobs;
+    for (const Net &net : nets) {
+        double bw = net.bw;
+        lat_jobs.push_back([bw] { return smallMessageLatency(bw); });
+        app_jobs.push_back([bw] {
+            core::ClusterConfig cc;
+            cc.network.linkBytesPerSec = bw;
+            return runRadixVmmc(cc, true, 16, radixConfig());
+        });
+        app_jobs.push_back([bw] {
+            core::ClusterConfig cc;
+            cc.network.linkBytesPerSec = bw;
+            return runOceanNx(cc, false, 16, oceanConfig());
+        });
+    }
+    auto lats = runSweep(std::move(lat_jobs));
+    auto app_results = runSweep(std::move(app_jobs));
+
     double lat_paragon = 0, lat_inf = 0;
     Tick radix_paragon = 0, radix_slow = 0;
-    for (const Net &net : nets) {
-        double lat = smallMessageLatency(net.bw);
-
-        core::ClusterConfig cc;
-        cc.network.linkBytesPerSec = net.bw;
-        auto radix = runRadixVmmc(cc, true, 16, radixConfig());
-        auto ocean = runOceanNx(cc, false, 16, oceanConfig());
+    for (std::size_t i = 0; i < std::size(nets); ++i) {
+        const Net &net = nets[i];
+        double lat = lats[i];
+        const auto &radix = app_results[2 * i];
+        const auto &ocean = app_results[2 * i + 1];
         std::printf("%-26s %12.2f %14.2f %14.2f\n", net.name, lat,
                     toSeconds(radix.elapsed) * 1e3,
                     toSeconds(ocean.elapsed) * 1e3);
-        std::fflush(stdout);
 
         if (net.bw == 200e6) {
             lat_paragon = lat;

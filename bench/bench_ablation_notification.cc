@@ -30,20 +30,32 @@ main()
     std::printf("%-18s %16s %16s\n", "upcall cost", "Radix-SVM (ms)",
                 "Barnes-SVM (ms)");
 
-    Tick radix_fast = 0, radix_slow = 0;
+    // Each (cost, app) cell is one sweep job.
+    std::vector<std::function<apps::AppResult()>> jobs;
     for (double us : costs_us) {
-        core::ClusterConfig cc;
-        cc.machine.notificationCost = microseconds(us);
-        auto radix = runRadixSvm(cc, Protocol::AURC, 16, radixConfig());
+        jobs.push_back([us] {
+            core::ClusterConfig cc;
+            cc.machine.notificationCost = microseconds(us);
+            return runRadixSvm(cc, Protocol::AURC, 16, radixConfig());
+        });
+        jobs.push_back([us] {
+            core::ClusterConfig cc;
+            cc.machine.notificationCost = microseconds(us);
+            auto bcfg = barnesSvmConfig();
+            bcfg.bodies = std::min(bcfg.bodies, 2048);
+            return runBarnesSvm(cc, Protocol::AURC, 16, bcfg);
+        });
+    }
+    auto results = runSweep(std::move(jobs));
 
-        auto bcfg = barnesSvmConfig();
-        bcfg.bodies = std::min(bcfg.bodies, 2048);
-        auto barnes = runBarnesSvm(cc, Protocol::AURC, 16, bcfg);
-
+    Tick radix_fast = 0, radix_slow = 0;
+    for (std::size_t i = 0; i < std::size(costs_us); ++i) {
+        double us = costs_us[i];
+        const auto &radix = results[2 * i];
+        const auto &barnes = results[2 * i + 1];
         std::printf("%15.0fus %16.2f %16.2f\n", us,
                     toSeconds(radix.elapsed) * 1e3,
                     toSeconds(barnes.elapsed) * 1e3);
-        std::fflush(stdout);
         if (us == 5)
             radix_fast = radix.elapsed;
         if (us == 100)

@@ -14,10 +14,10 @@
 #ifndef SHRIMP_BENCH_BENCH_COMMON_HH
 #define SHRIMP_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,6 +27,7 @@
 #include "apps/ocean.hh"
 #include "apps/radix.hh"
 #include "apps/render.hh"
+#include "bench/sweep.hh"
 
 namespace shrimp::bench
 {
@@ -142,10 +143,21 @@ renderConfig()
 // Machine-readable reports
 // ----------------------------------------------------------------------
 
+/** True when SHRIMP_REPORT_HOST=1 asks for host-perf in reports. */
+inline bool
+reportHostPerf()
+{
+    const char *v = std::getenv("SHRIMP_REPORT_HOST");
+    return v && *v && std::strcmp(v, "0") != 0;
+}
+
 /**
  * If SHRIMP_REPORT_JSONL names a file, append @p r as one compact
- * RunReport line. Lets any bench binary double as a data producer for
- * plotting scripts without changing its table output.
+ * RunReport line (through the sweep-safe sink; see bench/sweep.hh).
+ * Lets any bench binary double as a data producer for plotting
+ * scripts without changing its table output. With SHRIMP_REPORT_HOST=1
+ * the line also carries host wall time and events/sec, tracking the
+ * simulator's own performance across PRs.
  */
 inline void
 maybeEmitReport(const apps::AppResult &r)
@@ -153,12 +165,31 @@ maybeEmitReport(const apps::AppResult &r)
     const char *path = std::getenv("SHRIMP_REPORT_JSONL");
     if (!path || !*path)
         return;
-    std::ofstream os(path, std::ios::app);
-    if (!os) {
-        warn("cannot append run report to %s", path);
-        return;
+    RunReport rep = apps::makeReport(r);
+    if (reportHostPerf()) {
+        rep.host.enabled = true;
+        rep.host.wallSeconds = r.hostWallSeconds;
+        rep.host.events = r.hostEvents;
+        rep.host.eventsPerSec = r.hostWallSeconds > 0
+                                    ? double(r.hostEvents) /
+                                          r.hostWallSeconds
+                                    : 0;
     }
-    os << apps::makeReport(r).toJson(/*pretty=*/false) << '\n';
+    emitReport(rep);
+}
+
+/** Host wall-clock duration of @p fn's run, recorded into the result. */
+template <class F>
+inline apps::AppResult
+timedRun(F &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    apps::AppResult r = fn();
+    r.hostWallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return r;
 }
 
 // ----------------------------------------------------------------------
@@ -257,18 +288,19 @@ standardApps(int barnes_nx_procs = 16)
          },
          nullptr});
 
-    // Every registry run feeds the JSONL report sink when enabled.
+    // Every registry run feeds the JSONL report sink when enabled,
+    // stamped with its host wall time for the perf-trajectory report.
     for (auto &s : specs) {
         auto run = s.run;
         s.run = [run](const core::ClusterConfig &cc) {
-            auto r = run(cc);
+            auto r = timedRun([&] { return run(cc); });
             maybeEmitReport(r);
             return r;
         };
         if (s.runAt) {
             auto run_at = s.runAt;
             s.runAt = [run_at](const core::ClusterConfig &cc, int p) {
-                auto r = run_at(cc, p);
+                auto r = timedRun([&] { return run_at(cc, p); });
                 maybeEmitReport(r);
                 return r;
             };

@@ -103,7 +103,10 @@ main()
 
     const char *names[] = {"Radix-VMMC", "Ocean-SVM", "Radix-SVM"};
     auto specs = standardApps();
-    bool ok = true;
+
+    // Big/small FIFO runs for each app as independent sweep jobs.
+    std::vector<std::function<apps::AppResult()>> jobs;
+    std::vector<const char *> job_names;
     for (const char *name : names) {
         const AppSpec *spec = nullptr;
         for (const auto &s : specs)
@@ -111,19 +114,26 @@ main()
                 spec = &s;
         if (!spec)
             continue;
+        job_names.push_back(name);
+        auto run = spec->run;
+        for (std::uint32_t fifo : {32u * 1024, 1024u}) {
+            jobs.push_back([run, fifo] {
+                core::ClusterConfig cc;
+                cc.shrimpNic.outFifoBytes = fifo;
+                return run(cc);
+            });
+        }
+    }
+    auto results = runSweep(std::move(jobs));
 
-        core::ClusterConfig big;
-        big.shrimpNic.outFifoBytes = 32 * 1024;
-        core::ClusterConfig small;
-        small.shrimpNic.outFifoBytes = 1024;
-
-        auto rb = spec->run(big);
-        auto rs = spec->run(small);
+    bool ok = true;
+    for (std::size_t i = 0; i < job_names.size(); ++i) {
+        const auto &rb = results[2 * i];
+        const auto &rs = results[2 * i + 1];
         double delta = pctIncrease(rb.elapsed, rs.elapsed);
-        std::printf("%-14s %12.2f %12.2f %8.2f%%\n", name,
+        std::printf("%-14s %12.2f %12.2f %8.2f%%\n", job_names[i],
                     toSeconds(rb.elapsed) * 1e3,
                     toSeconds(rs.elapsed) * 1e3, delta);
-        std::fflush(stdout);
         // Paper: no detectable difference. Quick scale inflates the
         // communication share, so allow modest flow-control jitter.
         ok = ok && std::abs(delta) < 6.5;
@@ -132,8 +142,11 @@ main()
     // The stress case shows where capacity *would* matter: the small
     // FIFO needs far more threshold interrupts to survive the same
     // backlog (completion stays link-bound either way).
-    StressResult stress_big = manyToOneStress(32 * 1024);
-    StressResult stress_small = manyToOneStress(1024);
+    auto stress = runSweep<StressResult>(
+        {[] { return manyToOneStress(32 * 1024); },
+         [] { return manyToOneStress(1024); }});
+    StressResult stress_big = stress[0];
+    StressResult stress_small = stress[1];
     std::printf("\nAU stress on a starved link: 32KB %.2f ms "
                 "(%llu thresh irqs), 1KB %.2f ms (%llu thresh irqs)\n",
                 toSeconds(stress_big.elapsed) * 1e3,

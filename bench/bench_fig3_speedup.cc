@@ -37,7 +37,16 @@ main()
         std::printf(" %8dp", p);
     std::printf("\n");
 
-    std::map<std::string, std::vector<double>> curves;
+    // One sweep job per (app, processor-count) cell; every job builds
+    // its own Cluster, so SHRIMP_JOBS workers can run them in
+    // parallel with deterministic, submission-ordered results.
+    struct Cell
+    {
+        const char *app;
+        int p;
+    };
+    std::vector<Cell> cells;
+    std::vector<std::function<apps::AppResult()>> jobs;
     for (const char *name : plotted) {
         const AppSpec *spec = nullptr;
         for (const auto &s : specs)
@@ -45,22 +54,29 @@ main()
                 spec = &s;
         if (!spec || !spec->runAt)
             continue;
-
-        core::ClusterConfig cc;
-        Tick seq = 0;
-        std::vector<double> curve;
-        std::printf("%-14s", name);
         for (int p : procs) {
-            auto r = spec->runAt(cc, p);
-            if (p == 1)
-                seq = r.elapsed;
-            double speedup = double(seq) / double(r.elapsed);
-            curve.push_back(speedup);
-            std::printf(" %8.2f", speedup);
-            std::fflush(stdout);
+            cells.push_back({name, p});
+            auto run_at = spec->runAt;
+            jobs.push_back([run_at, p] {
+                core::ClusterConfig cc;
+                return run_at(cc, p);
+            });
         }
-        std::printf("\n");
-        curves[name] = curve;
+    }
+    auto results = runSweep(std::move(jobs));
+
+    std::map<std::string, std::vector<double>> curves;
+    Tick seq = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].p == 1) {
+            seq = results[i].elapsed;
+            std::printf("%-14s", cells[i].app);
+        }
+        double speedup = double(seq) / double(results[i].elapsed);
+        curves[cells[i].app].push_back(speedup);
+        std::printf(" %8.2f", speedup);
+        if (cells[i].p == procs[std::size(procs) - 1])
+            std::printf("\n");
     }
 
     // Shape checks against the paper's Figure 3.

@@ -8,7 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include "core/vmmc.hh"
 #include "mesh/network.hh"
@@ -37,6 +39,74 @@ BM_EventQueueThroughput(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueueThroughput);
+
+/**
+ * Schedule/cancel churn: timeout-style events that almost never fire.
+ * Exercises the slab pool's recycle path and generation counters —
+ * the pattern every retry/timeout model produces. Each driver step
+ * arms a far-future "timeout", then cancels it, like a request that
+ * completes before its deadline.
+ */
+struct ChurnDriver
+{
+    EventQueue &q;
+    std::uint64_t &fired;
+    std::uint64_t step = 0;
+
+    void
+    operator()()
+    {
+        std::uint64_t *fp = &fired;
+        EventHandle timeout =
+            q.scheduleCancellable(1000000, [fp] { ++*fp; });
+        timeout.cancel();
+        ++fired;
+        ChurnDriver next = *this;
+        ++next.step;
+        if (next.step < 20000)
+            q.schedule(1, next);
+    }
+};
+
+void
+BM_EventQueueCancelChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        q.schedule(1, ChurnDriver{q, fired});
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+/**
+ * Cancellable-heavy steady state: many live cancellable events in
+ * the heap at once, a random-ish half of them cancelled before their
+ * tick arrives. Stresses lazy cancellation sweeping through pop.
+ */
+void
+BM_EventQueueCancellableHeavy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        std::vector<EventHandle> handles;
+        handles.reserve(10000);
+        for (int i = 0; i < 10000; ++i) {
+            handles.push_back(q.scheduleCancellable(
+                Tick(1 + (i * 37) % 1000), [&fired] { ++fired; }));
+        }
+        for (std::size_t i = 0; i < handles.size(); i += 2)
+            handles[i].cancel();
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueCancellableHeavy);
 
 void
 BM_FiberSwitch(benchmark::State &state)

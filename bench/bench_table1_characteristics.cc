@@ -42,69 +42,70 @@ main()
     };
     std::vector<Row> rows;
 
-    {
+    // Each uniprocessor characterisation run is one sweep job.
+    std::vector<std::function<Row()>> jobs;
+    jobs.push_back([cc] {
         auto cfg = barnesSvmConfig();
         auto r = runBarnesSvm(cc, Protocol::AURC, 1, cfg);
-        rows.push_back({"Barnes-SVM", "SVM",
-                        std::to_string(cfg.bodies) + " bodies",
-                        toSeconds(r.elapsed), -1});
-    }
-    {
+        return Row{"Barnes-SVM", "SVM",
+                   std::to_string(cfg.bodies) + " bodies",
+                   toSeconds(r.elapsed), -1};
+    });
+    jobs.push_back([cc] {
         auto cfg = oceanConfig();
         auto r = runOceanSvm(cc, Protocol::AURC, 1, cfg);
-        rows.push_back({"Ocean-SVM", "SVM",
-                        std::to_string(cfg.n) + "x" +
-                            std::to_string(cfg.n),
-                        toSeconds(r.elapsed), -1});
-    }
-    {
+        return Row{"Ocean-SVM", "SVM",
+                   std::to_string(cfg.n) + "x" + std::to_string(cfg.n),
+                   toSeconds(r.elapsed), -1};
+    });
+    jobs.push_back([cc, full] {
         auto cfg = radixConfig();
         auto r = runRadixSvm(cc, Protocol::AURC, 1, cfg);
-        rows.push_back({"Radix-SVM", "SVM",
-                        std::to_string(cfg.keys / 1024) + "K keys, " +
-                            std::to_string(cfg.iterations) + " iters",
-                        toSeconds(r.elapsed), full ? 14.3 : -1});
-    }
-    {
+        return Row{"Radix-SVM", "SVM",
+                   std::to_string(cfg.keys / 1024) + "K keys, " +
+                       std::to_string(cfg.iterations) + " iters",
+                   toSeconds(r.elapsed), full ? 14.3 : -1};
+    });
+    jobs.push_back([cc, full] {
         auto cfg = radixConfig();
         auto r = runRadixVmmc(cc, true, 1, cfg);
-        rows.push_back({"Radix-VMMC", "VMMC",
-                        std::to_string(cfg.keys / 1024) + "K keys, " +
-                            std::to_string(cfg.iterations) + " iters",
-                        toSeconds(r.elapsed), full ? 10.9 : -1});
-    }
-    {
+        return Row{"Radix-VMMC", "VMMC",
+                   std::to_string(cfg.keys / 1024) + "K keys, " +
+                       std::to_string(cfg.iterations) + " iters",
+                   toSeconds(r.elapsed), full ? 10.9 : -1};
+    });
+    jobs.push_back([cc] {
         auto cfg = barnesNxConfig();
         auto r = runBarnesNx(cc, false, 1, cfg);
-        rows.push_back({"Barnes-NX", "NX",
-                        std::to_string(cfg.bodies) + " bodies, " +
-                            std::to_string(cfg.timesteps) + " iters",
-                        toSeconds(r.elapsed), -1});
-    }
-    {
+        return Row{"Barnes-NX", "NX",
+                   std::to_string(cfg.bodies) + " bodies, " +
+                       std::to_string(cfg.timesteps) + " iters",
+                   toSeconds(r.elapsed), -1};
+    });
+    jobs.push_back([cc] {
         auto cfg = oceanConfig();
         // Paper note: Ocean-NX does not run on a uniprocessor; the
         // two-node running time is given.
         auto r = runOceanNx(cc, true, 2, cfg);
-        rows.push_back({"Ocean-NX (2n)", "NX",
-                        std::to_string(cfg.n) + "x" +
-                            std::to_string(cfg.n),
-                        toSeconds(r.elapsed), -1});
-    }
-    {
+        return Row{"Ocean-NX (2n)", "NX",
+                   std::to_string(cfg.n) + "x" + std::to_string(cfg.n),
+                   toSeconds(r.elapsed), -1};
+    });
+    jobs.push_back([cc, full] {
         auto cfg = dfsConfig();
         auto r = runDfs(cc, cfg);
-        rows.push_back({"DFS-sockets", "Sockets",
-                        std::to_string(cfg.clients) + " clients",
-                        toSeconds(r.elapsed), full ? 6.9 : -1});
-    }
-    {
+        return Row{"DFS-sockets", "Sockets",
+                   std::to_string(cfg.clients) + " clients",
+                   toSeconds(r.elapsed), full ? 6.9 : -1};
+    });
+    jobs.push_back([cc] {
         auto cfg = renderConfig();
         auto r = runRender(cc, cfg);
-        rows.push_back({"Render-sockets", "Sockets",
-                        std::to_string(cfg.imageSize) + "^2 image",
-                        toSeconds(r.elapsed), -1});
-    }
+        return Row{"Render-sockets", "Sockets",
+                   std::to_string(cfg.imageSize) + "^2 image",
+                   toSeconds(r.elapsed), -1};
+    });
+    rows = runSweep(std::move(jobs));
 
     std::printf("%-16s %-8s %-22s %12s %12s\n", "Application", "API",
                 "Problem size", "Seq (s)", "Paper (s)");

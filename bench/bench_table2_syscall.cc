@@ -36,28 +36,38 @@ main()
     std::printf("%-16s %14s %14s\n", "Application", "measured",
                 "paper");
 
-    bool all_positive = true;
-    int measured_count = 0;
-    double max_pct = 0;
+    // udma/syscall runs for each app, all as independent sweep jobs.
+    auto specs = standardApps();
+    std::vector<PaperRow> rows;
+    std::vector<std::function<apps::AppResult()>> jobs;
     for (const auto &row : paper) {
         const AppSpec *spec = nullptr;
-        auto specs = standardApps();
         for (const auto &s : specs)
             if (s.name == row.name)
                 spec = &s;
         if (!spec)
             continue;
+        rows.push_back(row);
+        auto run = spec->run;
+        for (bool udma_sends : {true, false}) {
+            jobs.push_back([run, udma_sends] {
+                core::ClusterConfig cc;
+                cc.udmaSends = udma_sends;
+                return run(cc);
+            });
+        }
+    }
+    auto results = runSweep(std::move(jobs));
 
-        core::ClusterConfig udma;
-        core::ClusterConfig syscall;
-        syscall.udmaSends = false;
-
-        auto base = spec->run(udma);
-        auto slow = spec->run(syscall);
+    bool all_positive = true;
+    int measured_count = 0;
+    double max_pct = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &base = results[2 * i];
+        const auto &slow = results[2 * i + 1];
         double pct = pctIncrease(base.elapsed, slow.elapsed);
-        std::printf("%-16s %13.1f%% %13.1f%%\n", row.name, pct,
-                    row.paper_pct);
-        std::fflush(stdout);
+        std::printf("%-16s %13.1f%% %13.1f%%\n", rows[i].name, pct,
+                    rows[i].paper_pct);
         all_positive = all_positive && pct > 0.0;
         max_pct = std::max(max_pct, pct);
         ++measured_count;

@@ -44,8 +44,9 @@ main()
     std::printf("%-16s %14s %14s %8s %10s\n", "Application",
                 "notifications", "messages", "pct", "paper pct");
 
-    bool ok = true;
     auto specs = standardApps();
+    std::vector<PaperRow> rows;
+    std::vector<std::function<apps::AppResult()>> jobs;
     for (const auto &row : paper) {
         const AppSpec *spec = nullptr;
         for (const auto &s : specs)
@@ -53,9 +54,19 @@ main()
                 spec = &s;
         if (!spec)
             continue;
+        rows.push_back(row);
+        auto run = spec->run;
+        jobs.push_back([run] {
+            core::ClusterConfig cc;
+            return run(cc);
+        });
+    }
+    auto results = runSweep(std::move(jobs));
 
-        core::ClusterConfig cc;
-        auto r = spec->run(cc);
+    bool ok = true;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        const auto &r = results[i];
         double pct = r.messages
                          ? 100.0 * double(r.notifications) /
                                double(r.messages)
@@ -64,7 +75,6 @@ main()
                     (unsigned long long)r.notifications,
                     (unsigned long long)r.messages, pct,
                     row.paper_pct);
-        std::fflush(stdout);
 
         bool is_svm = std::string(row.name).find("SVM") !=
                       std::string::npos;

@@ -1,0 +1,161 @@
+#include "bench/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/run_report.hh"
+#include "sim/trace_json.hh"
+
+namespace shrimp::bench
+{
+
+namespace
+{
+
+/**
+ * The JSONL report sink: one shared FILE handle for the whole
+ * process, lazily opened, append-guarded by a mutex. A bad path is
+ * complained about exactly once.
+ */
+class ReportSink
+{
+  public:
+    static ReportSink &
+    instance()
+    {
+        static ReportSink sink;
+        return sink;
+    }
+
+    void
+    append(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const char *p = std::getenv("SHRIMP_REPORT_JSONL");
+        if (!p || !*p)
+            return;
+        // Open once per path; if the environment repoints the sink
+        // (tests do), switch files. A bad path warns exactly once.
+        if (path != p) {
+            if (out)
+                std::fclose(out);
+            path = p;
+            out = std::fopen(p, "a");
+            if (!out)
+                warn("cannot append run reports to %s", p);
+        }
+        if (!out)
+            return;
+        std::fputs(line.c_str(), out);
+        std::fputc('\n', out);
+        std::fflush(out);
+    }
+
+    bool
+    enabled() const
+    {
+        const char *p = std::getenv("SHRIMP_REPORT_JSONL");
+        return p && *p;
+    }
+
+  private:
+    ReportSink() = default;
+
+    std::string path;
+    std::mutex mutex;
+    std::FILE *out = nullptr;
+};
+
+/**
+ * While a sweep job runs, its thread redirects report lines into a
+ * per-job buffer; the sweep flushes the buffers in submission order.
+ */
+thread_local std::vector<std::string> *tl_report_buffer = nullptr;
+
+} // anonymous namespace
+
+int
+sweepJobs()
+{
+    const char *v = std::getenv("SHRIMP_JOBS");
+    if (!v || !*v)
+        return 1;
+    int n = std::atoi(v);
+    if (n < 1)
+        return 1;
+    return n > 64 ? 64 : n;
+}
+
+void
+emitReport(const RunReport &report)
+{
+    ReportSink &sink = ReportSink::instance();
+    if (!sink.enabled())
+        return;
+    std::string line = report.toJson(/*pretty=*/false);
+    if (tl_report_buffer)
+        tl_report_buffer->push_back(std::move(line));
+    else
+        sink.append(line);
+}
+
+namespace detail
+{
+
+void
+runJobs(std::size_t count, const std::function<void(std::size_t)> &run_one)
+{
+    if (count == 0)
+        return;
+
+    std::vector<std::vector<std::string>> buffers(count);
+
+    auto run_buffered = [&](std::size_t i) {
+        tl_report_buffer = &buffers[i];
+        run_one(i);
+        tl_report_buffer = nullptr;
+    };
+
+    // The trace recorder is process-global; keep traced runs serial.
+    std::size_t workers = std::size_t(sweepJobs());
+    if (workers > count)
+        workers = count;
+    if (trace_json::enabled())
+        workers = 1;
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            run_buffered(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= count)
+                        return;
+                    run_buffered(i);
+                }
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Submission-ordered flush: byte-identical serial vs parallel.
+    for (auto &buf : buffers)
+        for (auto &line : buf)
+            ReportSink::instance().append(line);
+}
+
+} // namespace detail
+
+} // namespace shrimp::bench

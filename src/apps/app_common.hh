@@ -56,6 +56,12 @@ struct AppResult
      */
     StatsRegistry stats;
 
+    /** Events the simulation executed (host-perf reporting). */
+    std::uint64_t hostEvents = 0;
+
+    /** Host wall time of the run; filled by the bench harness. */
+    double hostWallSeconds = 0;
+
     /** Record a workload knob; numbers are stringified. */
     template <class T>
     void
@@ -84,6 +90,7 @@ inline void
 captureStats(AppResult &result, core::Cluster &cluster)
 {
     result.stats = cluster.sim().stats();
+    result.hostEvents = cluster.sim().events().executed();
 }
 
 /** Assemble the machine-readable report for a finished run. */

@@ -171,9 +171,12 @@ RpcDomain::dispatchSlot(int server_rank, int slot)
     const auto *hdr = reinterpret_cast<const CallHeader *>(base);
     if (hdr->seq <= s.lastServed[slot])
         return; // stale or duplicate notification
-    const auto *trl = reinterpret_cast<const CallTrailer *>(
-        base + sizeof(CallHeader) + hdr->bytes);
-    if (trl->seq != hdr->seq)
+    // The trailer lands right after the payload, which may leave it
+    // unaligned; copy it out rather than dereference in place.
+    CallTrailer trl;
+    std::memcpy(&trl, base + sizeof(CallHeader) + hdr->bytes,
+                sizeof(trl));
+    if (trl.seq != hdr->seq)
         return; // payload still in flight; a later poll retries
 
     Client *client = s.slots[slot];

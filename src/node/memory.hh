@@ -12,9 +12,10 @@
 #ifndef SHRIMP_NODE_MEMORY_HH
 #define SHRIMP_NODE_MEMORY_HH
 
+#include <sys/mman.h>
+
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "node/machine_params.hh"
 #include "sim/logging.hh"
@@ -30,6 +31,12 @@ inline constexpr Frame kInvalidFrame = ~Frame(0);
 
 /**
  * Bump-allocated, page-granular physical memory for one node.
+ *
+ * The arena is a lazily populated anonymous mapping: untouched pages
+ * cost nothing, so a 16-node cluster with roomy per-node arenas
+ * constructs in microseconds instead of faulting in gigabytes of
+ * zeroes. Pages read as zero on first touch, matching the old
+ * zero-initialised std::vector arena byte for byte.
  */
 class NodeMemory
 {
@@ -38,9 +45,17 @@ class NodeMemory
      * @param bytes Arena capacity; rounded up to whole pages.
      */
     explicit NodeMemory(std::size_t bytes)
-        : arena((bytes + kPageBytes - 1) / kPageBytes * kPageBytes)
+        : arenaBytes((bytes + kPageBytes - 1) / kPageBytes * kPageBytes)
     {
+        void *p = ::mmap(nullptr, arenaBytes, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                         -1, 0);
+        if (p == MAP_FAILED)
+            fatal("cannot map a %zu-byte node arena", arenaBytes);
+        arena = static_cast<char *>(p);
     }
+
+    ~NodeMemory() { ::munmap(arena, arenaBytes); }
 
     NodeMemory(const NodeMemory &) = delete;
     NodeMemory &operator=(const NodeMemory &) = delete;
@@ -54,11 +69,11 @@ class NodeMemory
     {
         std::size_t align = page_aligned ? kPageBytes : 8;
         std::size_t start = (used + align - 1) / align * align;
-        if (start + bytes > arena.size())
+        if (start + bytes > arenaBytes)
             fatal("node memory arena exhausted (%zu + %zu > %zu)",
-                  start, bytes, arena.size());
+                  start, bytes, arenaBytes);
         used = start + bytes;
-        return arena.data() + start;
+        return arena + start;
     }
 
     /** Allocate an array of @p n T's. */
@@ -74,7 +89,7 @@ class NodeMemory
     contains(const void *p) const
     {
         auto c = static_cast<const char *>(p);
-        return c >= arena.data() && c < arena.data() + arena.size();
+        return c >= arena && c < arena + arenaBytes;
     }
 
     /** Physical frame of an arena pointer. */
@@ -83,7 +98,7 @@ class NodeMemory
     {
         if (!contains(p))
             panic("frameOf: pointer not in this node's arena");
-        return Frame((static_cast<const char *>(p) - arena.data()) /
+        return Frame((static_cast<const char *>(p) - arena) /
                      kPageBytes);
     }
 
@@ -93,7 +108,7 @@ class NodeMemory
     {
         if (!contains(p))
             panic("offsetOf: pointer not in this node's arena");
-        return std::uint64_t(static_cast<const char *>(p) - arena.data());
+        return std::uint64_t(static_cast<const char *>(p) - arena);
     }
 
     /** Host pointer for a (frame, offset) physical address. */
@@ -101,19 +116,20 @@ class NodeMemory
     ptrOf(Frame frame, std::uint32_t offset = 0)
     {
         std::size_t addr = std::size_t(frame) * kPageBytes + offset;
-        if (addr >= arena.size())
+        if (addr >= arenaBytes)
             panic("ptrOf: frame %u out of range", frame);
-        return arena.data() + addr;
+        return arena + addr;
     }
 
     /** Number of page frames in the arena. */
-    Frame frameCount() const { return Frame(arena.size() / kPageBytes); }
+    Frame frameCount() const { return Frame(arenaBytes / kPageBytes); }
 
     /** Bytes currently allocated. */
     std::size_t usedBytes() const { return used; }
 
   private:
-    std::vector<char> arena;
+    char *arena = nullptr;
+    std::size_t arenaBytes = 0;
     std::size_t used = 0;
 };
 

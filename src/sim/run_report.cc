@@ -48,6 +48,14 @@ RunReport::writeJson(std::ostream &os, bool pretty) const
     w.field("notifications", notifications);
     w.field("checksum", checksum);
 
+    if (host.enabled) {
+        w.beginObject("host");
+        w.field("wall_seconds", host.wallSeconds);
+        w.field("events", host.events);
+        w.field("events_per_sec", host.eventsPerSec);
+        w.endObject();
+    }
+
     w.beginObject("params");
     for (const auto &kv : params)
         w.field(kv.first, kv.second);

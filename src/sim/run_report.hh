@@ -45,6 +45,22 @@ struct RunReport
     std::uint64_t notifications = 0;
     std::uint64_t checksum = 0;
 
+    /**
+     * Host-side performance of the run (wall-clock, not simulated).
+     * Non-deterministic by nature, so it is only serialized when
+     * enabled — the bench harness turns it on via SHRIMP_REPORT_HOST=1
+     * to capture the simulator's own perf trajectory across PRs;
+     * determinism tests leave it off.
+     */
+    struct HostPerf
+    {
+        bool enabled = false;
+        double wallSeconds = 0;       //!< host wall time of the run
+        std::uint64_t events = 0;     //!< events executed by the run
+        double eventsPerSec = 0;      //!< events / wallSeconds
+    };
+    HostPerf host;
+
     /** Workload knobs (sizes, protocol, seed, CLI what-ifs). */
     std::map<std::string, std::string> params;
 

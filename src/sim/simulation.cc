@@ -9,8 +9,10 @@ namespace shrimp
 namespace
 {
 
-/// Stack of live simulations; tests may nest construction.
-std::vector<Simulation *> live_simulations;
+/// Stack of live simulations; tests may nest construction. Per host
+/// thread, so the parallel sweep runner can run one Simulation per
+/// worker without the stacks interleaving.
+thread_local std::vector<Simulation *> live_simulations;
 
 } // anonymous namespace
 

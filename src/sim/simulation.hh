@@ -101,18 +101,24 @@ class Simulation
     /** @return current simulated time. */
     Tick now() const { return queue.now(); }
 
-    /** Schedule a plain callback @p delay from now. */
+    /**
+     * Schedule a plain callback @p delay from now. The callable is
+     * stored inline (no heap); captures must fit in
+     * InlineCallback::kMaxCaptureBytes.
+     */
+    template <class F>
     void
-    schedule(Tick delay, std::function<void()> fn)
+    schedule(Tick delay, F &&fn)
     {
-        queue.schedule(delay, std::move(fn));
+        queue.schedule(delay, std::forward<F>(fn));
     }
 
     /** Schedule a cancellable callback @p delay from now. */
+    template <class F>
     EventHandle
-    scheduleCancellable(Tick delay, std::function<void()> fn)
+    scheduleCancellable(Tick delay, F &&fn)
     {
-        return queue.scheduleCancellable(delay, std::move(fn));
+        return queue.scheduleCancellable(delay, std::forward<F>(fn));
     }
 
     /**

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -59,6 +61,122 @@ TEST(EventQueue, CancelAfterFireIsNoop)
     h.cancel();
     q.run();
     EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop)
+{
+    EventQueue q;
+    bool ran = false;
+    auto h = q.scheduleCancellable(10, [&] { ran = true; });
+    h.cancel();
+    h.cancel(); // second cancel must not disturb anything
+    q.schedule(20, [&] {});
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, StaleHandleDoesNotCancelRecycledSlot)
+{
+    EventQueue q;
+    int first = 0, second = 0;
+    auto h = q.scheduleCancellable(10, [&] { ++first; });
+    q.run();
+    EXPECT_EQ(first, 1);
+
+    // The fired event's pool slot is recycled; the next cancellable
+    // event reuses it (LIFO free list). The stale handle must target
+    // the old generation and leave the new occupant alone.
+    auto h2 = q.scheduleCancellable(10, [&] { ++second; });
+    h.cancel(); // stale: must not cancel the recycled slot
+    q.run();
+    EXPECT_EQ(second, 1);
+
+    // And a live cancel on the new handle still works.
+    auto h3 = q.scheduleCancellable(10, [&] { ++second; });
+    h3.cancel();
+    q.run();
+    EXPECT_EQ(second, 1);
+    (void)h2;
+}
+
+TEST(EventQueue, CancelledHandleStaysStaleAfterSlotReuse)
+{
+    EventQueue q;
+    int runs = 0;
+    auto h = q.scheduleCancellable(10, [&] { ++runs; });
+    h.cancel();
+    q.run(); // cancelled event drains and its slot recycles
+    auto h2 = q.scheduleCancellable(10, [&] { ++runs; });
+    h.cancel(); // stale again: slot belongs to h2's event now
+    q.run();
+    EXPECT_EQ(runs, 1);
+    (void)h2;
+}
+
+TEST(EventQueue, SameTickFifoAcrossHeapRebuilds)
+{
+    // Interleave same-tick scheduling with event execution so keys
+    // move through many sift-up/sift-down cycles; scheduling order
+    // must survive as execution order within each tick.
+    EventQueue q;
+    std::vector<int> order;
+    int n = 0;
+    for (int wave = 0; wave < 8; ++wave) {
+        for (int i = 0; i < 50; ++i) {
+            q.schedule(100, [&order, v = n] { order.push_back(v); });
+            ++n;
+        }
+        // Earlier filler events force pops (heap rebuilds) between
+        // the same-tick waves.
+        q.schedule(Tick(wave + 1), [] {});
+        q.step();
+    }
+    q.run();
+    ASSERT_EQ(order.size(), 400u);
+    for (int i = 0; i < 400; ++i)
+        EXPECT_EQ(order[i], i) << "at " << i;
+}
+
+TEST(EventQueue, PoolRecyclingSurvivesChurn)
+{
+    // Push/pop far more events than one slab holds, with a cancel mix,
+    // so slots recycle many times over.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    for (int round = 0; round < 100; ++round) {
+        std::vector<EventHandle> hs;
+        for (int i = 0; i < 600; ++i)
+            hs.push_back(
+                q.scheduleCancellable(Tick(i % 7), [&] { ++fired; }));
+        for (std::size_t i = 0; i < hs.size(); i += 3)
+            hs[i].cancel();
+        q.run();
+    }
+    EXPECT_EQ(fired, 100u * 400u);
+}
+
+TEST(InlineCallback, HoldsAndReleasesCapturedState)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    {
+        EventQueue q;
+        q.schedule(5, [t = std::move(token)] { (void)t; });
+        EXPECT_FALSE(watch.expired()); // held by the pending event
+        q.run();
+        EXPECT_TRUE(watch.expired()); // released after firing
+    }
+
+    // And un-fired callbacks are destroyed with the queue.
+    auto token2 = std::make_shared<int>(8);
+    std::weak_ptr<int> watch2 = token2;
+    {
+        EventQueue q;
+        q.schedule(5, [t = std::move(token2)] { (void)t; });
+        EXPECT_FALSE(watch2.expired());
+    }
+    EXPECT_TRUE(watch2.expired());
 }
 
 TEST(EventQueue, RunUntilStopsAtLimit)

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The parallel sweep runner: submission-ordered results, serial vs
+ * parallel determinism, and byte-identical RunReport JSONL output
+ * (the golden invariant every design-conclusion sweep rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench/sweep.hh"
+
+using namespace shrimp;
+using namespace shrimp::bench;
+
+namespace
+{
+
+/** A small, fast Radix-VMMC run; fully deterministic per (cfg, p). */
+apps::AppResult
+smallRadix(int procs, int keys)
+{
+    core::ClusterConfig cc;
+    apps::RadixConfig cfg;
+    cfg.keys = keys;
+    cfg.iterations = 1;
+    return apps::runRadixVmmc(cc, /*au=*/true, procs, cfg);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Run the standard 4-job sweep, reporting into @p jsonl. */
+std::vector<apps::AppResult>
+sweepInto(const std::string &jsonl, const char *jobs_env)
+{
+    ::setenv("SHRIMP_REPORT_JSONL", jsonl.c_str(), 1);
+    ::setenv("SHRIMP_JOBS", jobs_env, 1);
+    std::vector<std::function<apps::AppResult()>> jobs;
+    for (int p : {1, 2, 4, 8}) {
+        jobs.push_back([p] {
+            auto r = smallRadix(p, 8 * 1024);
+            maybeEmitReport(r);
+            return r;
+        });
+    }
+    auto results = runSweep(std::move(jobs));
+    ::unsetenv("SHRIMP_REPORT_JSONL");
+    ::unsetenv("SHRIMP_JOBS");
+    return results;
+}
+
+} // anonymous namespace
+
+TEST(Sweep, JobsEnvControlsWorkerCount)
+{
+    ::unsetenv("SHRIMP_JOBS");
+    EXPECT_EQ(sweepJobs(), 1);
+    ::setenv("SHRIMP_JOBS", "4", 1);
+    EXPECT_EQ(sweepJobs(), 4);
+    ::setenv("SHRIMP_JOBS", "0", 1);
+    EXPECT_EQ(sweepJobs(), 1);
+    ::setenv("SHRIMP_JOBS", "9999", 1);
+    EXPECT_EQ(sweepJobs(), 64);
+    ::unsetenv("SHRIMP_JOBS");
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder)
+{
+    ::setenv("SHRIMP_JOBS", "4", 1);
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 32; ++i)
+        jobs.push_back([i] { return i * i; });
+    auto results = runSweep(std::move(jobs));
+    ::unsetenv("SHRIMP_JOBS");
+    ASSERT_EQ(results.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(Sweep, SerialAndParallelRunsAreByteIdentical)
+{
+    std::string serial_path = "sweep_serial.jsonl";
+    std::string parallel_path = "sweep_parallel.jsonl";
+    std::remove(serial_path.c_str());
+    std::remove(parallel_path.c_str());
+
+    auto serial = sweepInto(serial_path, "1");
+    auto parallel = sweepInto(parallel_path, "4");
+
+    // Simulated results agree exactly, run by run.
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].elapsed, parallel[i].elapsed) << i;
+        EXPECT_EQ(serial[i].checksum, parallel[i].checksum) << i;
+        EXPECT_EQ(serial[i].messages, parallel[i].messages) << i;
+    }
+
+    // Golden invariant: the JSONL report files are byte-identical.
+    std::string a = slurp(serial_path);
+    std::string b = slurp(parallel_path);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+
+    // One report line per job, each a JSON object.
+    int lines = 0;
+    for (char c : a)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4);
+    EXPECT_EQ(a.front(), '{');
+
+    std::remove(serial_path.c_str());
+    std::remove(parallel_path.c_str());
+}
+
+TEST(Sweep, RepeatedRunsAreDeterministic)
+{
+    auto a = smallRadix(4, 4 * 1024);
+    auto b = smallRadix(4, 4 * 1024);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(apps::makeReport(a).toJson(false),
+              apps::makeReport(b).toJson(false));
+}
+

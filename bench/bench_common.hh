@@ -309,6 +309,21 @@ standardApps(int barnes_nx_procs = 16)
     return specs;
 }
 
+/**
+ * A cluster config with the fault plane active at @p drop_rate.
+ * forceReliability keeps the protocol on even at rate 0, so the
+ * rate-0 row of a resilience sweep shows the pure protocol overhead.
+ */
+inline core::ClusterConfig
+withFaults(core::ClusterConfig cc, double drop_rate,
+           std::uint64_t seed = 1)
+{
+    cc.network.fault.dropRate = drop_rate;
+    cc.network.fault.seed = seed;
+    cc.network.fault.forceReliability = true;
+    return cc;
+}
+
 /** Percent-change helper. */
 inline double
 pctIncrease(Tick base, Tick changed)

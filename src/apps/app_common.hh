@@ -108,6 +108,17 @@ makeReport(const AppResult &r)
     rep.combined = r.combined;
     rep.perProcess = r.perProcess;
     rep.stats = r.stats;
+    if (r.stats.counterValue("mesh.faults_active")) {
+        rep.faults.enabled = true;
+        rep.faults.drops = r.stats.counterValue("mesh.drops");
+        rep.faults.outageDrops = r.stats.counterValue("mesh.outage_drops");
+        rep.faults.corruptions = r.stats.counterValue("mesh.corruptions");
+        rep.faults.retransmits = r.stats.counterValue("mesh.retransmits");
+        rep.faults.rtoFires = r.stats.counterValue("mesh.rto_fires");
+        rep.faults.dupRx = r.stats.counterValue("mesh.dup_rx");
+        rep.faults.acks = r.stats.counterValue("mesh.acks");
+        rep.faults.nacks = r.stats.counterValue("mesh.nacks");
+    }
     return rep;
 }
 

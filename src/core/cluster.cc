@@ -10,10 +10,14 @@ namespace shrimp::core
 Cluster::Cluster(const ClusterConfig &config) : _config(config)
 {
     trace_json::openFromEnv();
+    // Environment fault knobs (SHRIMP_FAULT_*) layer on top of the
+    // programmatic config, so any tool or benchmark can be run against
+    // a lossy backplane without changing code.
+    _config.network.fault = mesh::faultParamsFromEnv(_config.network.fault);
     _network = std::make_unique<mesh::Network>(
-        _sim, config.meshWidth, config.meshHeight, config.network);
+        _sim, _config.meshWidth, _config.meshHeight, _config.network);
 
-    int n = config.meshWidth * config.meshHeight;
+    int n = _config.meshWidth * _config.meshHeight;
     nodes.reserve(n);
     nics.reserve(n);
     endpoints.reserve(n);
@@ -30,6 +34,7 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
                 *nodes.back(), *_network, config.baselineNic));
             break;
         }
+        nics.back()->setReliabilityParams(_config.reliability);
         endpoints.push_back(std::make_unique<Endpoint>(
             *this, *nodes.back(), *nics.back()));
     }

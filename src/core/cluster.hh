@@ -44,6 +44,9 @@ struct ClusterConfig
     nic::ShrimpNicParams shrimpNic;
     nic::BaselineNicParams baselineNic;
 
+    /** Reliability-protocol tunables (used only in fault mode). */
+    nic::ReliabilityParams reliability;
+
     /** Physical memory arena per node. */
     std::size_t nodeMemBytes = 96ull * 1024 * 1024;
 

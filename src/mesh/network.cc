@@ -12,8 +12,24 @@ Network::Network(Simulation &sim, int width, int height,
                  const NetworkParams &params)
     : sim(sim), topo(width, height), _params(params),
       receivers(topo.nodeCount()),
-      linkBusyUntil(topo.linkCount(), 0)
+      linkBusyUntil(topo.linkCount(), 0),
+      loopbackBusyUntil(topo.nodeCount(), 0),
+      routeCache(std::size_t(topo.nodeCount()) * topo.nodeCount())
 {
+    if (_params.fault.reliabilityEnabled()) {
+        injector = std::make_unique<FaultInjector>(_params.fault,
+                                                   topo.linkCount());
+        // Touch the fault counters so reports carry them (at zero) for
+        // any run with the fault plane active, and mark the mode so
+        // RunReport can emit its faults block.
+        auto &stats = sim.stats();
+        stats.counter("mesh.faults_active").inc();
+        for (const char *c :
+             {"mesh.drops", "mesh.outage_drops", "mesh.corruptions",
+              "mesh.corrupt_rx", "mesh.retransmits", "mesh.rto_fires",
+              "mesh.dup_rx", "mesh.acks", "mesh.nacks"})
+            stats.counter(c);
+    }
 }
 
 int
@@ -35,6 +51,21 @@ Network::attach(NodeId node, Receiver receiver)
     receivers[node] = std::move(receiver);
 }
 
+std::pair<const int *, const int *>
+Network::route(NodeId src, NodeId dst)
+{
+    RouteRef &ref =
+        routeCache[std::size_t(src) * topo.nodeCount() + dst];
+    if (ref.offset < 0) {
+        auto path = topo.route(src, dst);
+        ref.offset = std::int32_t(routeArena.size());
+        ref.length = std::int32_t(path.size());
+        routeArena.insert(routeArena.end(), path.begin(), path.end());
+    }
+    const int *base = routeArena.data() + ref.offset;
+    return {base, base + ref.length};
+}
+
 void
 Network::send(Packet pkt)
 {
@@ -44,24 +75,58 @@ Network::send(Packet pkt)
         panic("send to node %u with no receiver attached", pkt.dst);
 
     auto &stats = sim.stats();
-    stats.counter("mesh.packets").inc();
+    stats.counter("mesh.packets").inc(pkt.hwPackets);
     stats.counter("mesh.bytes").inc(pkt.wireBytes);
 
+    Tick serialization = transferTime(pkt.wireBytes,
+                                      _params.linkBytesPerSec);
+
     if (pkt.src == pkt.dst) {
+        // NI-internal loopback: the payload still streams through the
+        // adapter buffers at link bandwidth, and back-to-back loopback
+        // sends serialize on that path like on a real link.
+        Tick start = std::max(sim.now(), loopbackBusyUntil[pkt.src]);
+        loopbackBusyUntil[pkt.src] = start + serialization;
+        Tick deliver = start + serialization + _params.loopbackLatency;
         auto p = std::make_shared<Packet>(std::move(pkt));
-        sim.schedule(_params.loopbackLatency,
+        sim.schedule(deliver - sim.now(),
                      [this, p] { receivers[p->dst](*p); });
         return;
     }
 
-    Tick serialization = transferTime(pkt.wireBytes,
-                                      _params.linkBytesPerSec);
     bool tracing = trace_json::enabled();
 
     // Head enters the backplane through the injection transceiver.
     Tick head = sim.now() + _params.transceiverLatency;
     Tick tail_at_last_link_start = head;
-    for (int link : topo.route(pkt.src, pkt.dst)) {
+    auto [route_begin, route_end] = route(pkt.src, pkt.dst);
+    for (const int *lp = route_begin; lp != route_end; ++lp) {
+        int link = *lp;
+        if (injector) {
+            FaultVerdict v = injector->crossLink(
+                link, std::max(head, linkBusyUntil[link]));
+            if (v.drop) {
+                // The head dies at this link; upstream links already
+                // streamed the body (charged above), this one carries
+                // nothing.
+                stats.counter("mesh.drops").inc();
+                if (v.outage)
+                    stats.counter("mesh.outage_drops").inc();
+                if (tracing)
+                    trace_json::instantEvent(
+                        linkTrack(link), v.outage ? "outage_drop"
+                                                  : "drop",
+                        strfmt("{\"src\":%u,\"dst\":%u,\"seq\":%llu}",
+                               pkt.src, pkt.dst,
+                               (unsigned long long)pkt.seq));
+                return;
+            }
+            if (v.corrupt) {
+                pkt.checksum ^= v.corruptMask;
+                stats.counter("mesh.corruptions").inc();
+            }
+            head += v.jitter;
+        }
         // Cut-through: the head may be stalled by a busy link (a
         // previous packet's body still streaming through it).
         Tick start = std::max(head, linkBusyUntil[link]);

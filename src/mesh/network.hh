@@ -9,14 +9,25 @@
  * busy-until timeline. Paths are fixed (dimension-order), so delivery
  * between any source/destination pair is in order, as on the real
  * backplane.
+ *
+ * An optional fault plane (FaultParams inside NetworkParams) makes the
+ * backplane lossy: packets may be dropped, corrupted or jittered per
+ * link crossing, deterministically. With faults configured the NICs
+ * run a link-level reliability protocol (see nic/nic_base.hh); with
+ * the default (all-zero) FaultParams the send path is bit-identical
+ * to the lossless model.
  */
 
 #ifndef SHRIMP_MESH_NETWORK_HH
 #define SHRIMP_MESH_NETWORK_HH
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "mesh/fault.hh"
 #include "mesh/packet.hh"
 #include "mesh/topology.hh"
 #include "sim/simulation.hh"
@@ -38,6 +49,9 @@ struct NetworkParams
 
     /** Latency for a node sending to itself (NI-internal loopback). */
     Tick loopbackLatency = nanoseconds(200);
+
+    /** Fault plane; defaults to a perfect (lossless) backplane. */
+    FaultParams fault;
 };
 
 /**
@@ -67,7 +81,9 @@ class Network
      *
      * The delivery callback of the destination runs at the time the
      * packet tail would arrive, accounting for link contention along
-     * the fixed X-Y path.
+     * the fixed X-Y path. Under fault injection the packet may instead
+     * be dropped (no delivery), corrupted (checksum perturbed) or
+     * delayed.
      */
     void send(Packet pkt);
 
@@ -77,16 +93,48 @@ class Network
     /** Parameters access. */
     const NetworkParams &params() const { return _params; }
 
+    /**
+     * The memoized X-Y path from @p src to @p dst as a contiguous
+     * [begin, end) range of link indices (see Topology::route).
+     * Routes are computed once per (src, dst) pair and cached, so the
+     * hot send path performs no per-packet allocation.
+     */
+    std::pair<const int *, const int *> route(NodeId src, NodeId dst);
+
+    /** Is any fault source configured? */
+    bool faultsEnabled() const { return injector != nullptr; }
+
+    /** Must the attached NICs run the reliability protocol? */
+    bool
+    reliabilityEnabled() const
+    {
+        return _params.fault.reliabilityEnabled();
+    }
+
+    /** The fault plane, or nullptr when faults are off. */
+    FaultInjector *faultInjector() { return injector.get(); }
+
   private:
     /** Cached trace track id for @p link ("mesh.linkN"). */
     int linkTrack(int link);
+
+    /** One memoized route: a span into routeArena. */
+    struct RouteRef
+    {
+        std::int32_t offset = -1; //!< -1 = not built yet
+        std::int32_t length = 0;
+    };
 
     Simulation &sim;
     Topology topo;
     NetworkParams _params;
     std::vector<Receiver> receivers;
     std::vector<Tick> linkBusyUntil;
+    std::vector<Tick> loopbackBusyUntil;
     std::vector<int> linkTracks;
+    std::vector<RouteRef> routeCache;
+    std::vector<int> routeArena;
+    std::unique_ptr<FaultInjector> injector;
 };
 
 } // namespace shrimp::mesh

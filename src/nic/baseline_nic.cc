@@ -13,7 +13,6 @@ BaselineNic::BaselineNic(node::Node &n, mesh::Network &net,
     : NicBase(n, net), sim(n.simulation()), _params(params),
       statPrefix(n.name() + ".bnic")
 {
-    _net.attach(n.id(), [this](const mesh::Packet &p) { receive(p); });
     sim.spawn(statPrefix + ".fw_engine", [this] { engineBody(); });
 }
 
@@ -84,7 +83,7 @@ BaselineNic::engineBody()
         auto payload = std::make_shared<NicPayload>();
         payload->body = std::move(pkt);
         mp.payload = std::move(payload);
-        _net.send(std::move(mp));
+        netSend(std::move(mp));
 
         engineBusy = false;
         slotWait.wakeAll(sim);

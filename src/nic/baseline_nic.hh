@@ -69,7 +69,7 @@ class BaselineNic : public NicBase
 
   private:
     void engineBody();
-    void receive(const mesh::Packet &pkt);
+    void receive(const mesh::Packet &pkt) override;
 
     Simulation &sim;
     BaselineNicParams _params;

@@ -1,12 +1,18 @@
 #include "nic/nic_base.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/trace_json.hh"
 
 namespace shrimp::nic
 {
 
-NicBase::NicBase(node::Node &n, mesh::Network &net) : _node(n), _net(net)
+NicBase::NicBase(node::Node &n, mesh::Network &net)
+    : _node(n), _net(net), _reliable(net.reliabilityEnabled())
 {
+    _net.attach(n.id(),
+                [this](const mesh::Packet &p) { linkReceive(p); });
 }
 
 void
@@ -37,6 +43,220 @@ void
 NicBase::auFence()
 {
     auFlush();
+}
+
+// ----------------------------------------------------------------------
+// Link-level reliability protocol (fault mode only)
+// ----------------------------------------------------------------------
+
+int
+NicBase::relTrack()
+{
+    if (_relTrack < 0)
+        _relTrack = trace_json::track(_node.name() + ".rel");
+    return _relTrack;
+}
+
+void
+NicBase::netSend(mesh::Packet pkt)
+{
+    if (!_reliable) {
+        _net.send(std::move(pkt));
+        return;
+    }
+
+    RelChannel &ch = channels[pkt.dst];
+    pkt.kind = mesh::PacketKind::Data;
+    pkt.seq = ch.nextSeq++;
+    pkt.checksum = mesh::packetChecksum(pkt);
+
+    auto &sim = _node.simulation();
+    // Keep the clean copy before handing the packet to the mesh: the
+    // fault plane mutates the in-flight checksum, never this copy.
+    ch.unacked.push_back(pkt);
+    ch.sentAt.push_back(sim.now());
+    // Invariant: the timer is armed exactly while unacked is non-empty.
+    if (ch.unacked.size() == 1) {
+        if (ch.rtoNow == 0)
+            ch.rtoNow = _rel.rtoBase;
+        armRto(ch, pkt.dst);
+    }
+    _net.send(std::move(pkt));
+}
+
+void
+NicBase::linkReceive(const mesh::Packet &pkt)
+{
+    if (!_reliable) {
+        receive(pkt);
+        return;
+    }
+
+    auto &stats = _node.simulation().stats();
+
+    if (pkt.checksum != mesh::packetChecksum(pkt)) {
+        stats.counter("mesh.corrupt_rx").inc();
+        if (pkt.kind == mesh::PacketKind::Data) {
+            // Ask for the resend right away instead of waiting out the
+            // sender's timeout. Control packets are covered by data
+            // retransmission, so a corrupt ACK/NACK just evaporates.
+            RelReceiver &rx = rxStreams[pkt.src];
+            sendNackOnce(rx, pkt.src);
+        }
+        return;
+    }
+
+    if (pkt.kind == mesh::PacketKind::Ack) {
+        handleAck(pkt);
+        return;
+    }
+    if (pkt.kind == mesh::PacketKind::Nack) {
+        handleNack(pkt);
+        return;
+    }
+
+    RelReceiver &rx = rxStreams[pkt.src];
+    if (pkt.seq < rx.expected) {
+        // Go-back-N resend of something already delivered; re-ACK so
+        // the sender's window moves even if the original ACK was lost.
+        stats.counter("mesh.dup_rx").inc();
+        sendCtrl(pkt.src, mesh::PacketKind::Ack, rx.expected);
+        return;
+    }
+    if (pkt.seq > rx.expected) {
+        // Gap: something ahead of us died in the mesh. One NACK per
+        // missing sequence value; the sender resends everything from
+        // there (go-back-N), so follow-up out-of-order arrivals need
+        // no further prompting.
+        sendNackOnce(rx, pkt.src);
+        return;
+    }
+
+    rx.expected = pkt.seq + 1;
+    rx.nackedAt = 0;
+    sendCtrl(pkt.src, mesh::PacketKind::Ack, rx.expected);
+    receive(pkt);
+}
+
+void
+NicBase::sendNackOnce(RelReceiver &rx, NodeId src)
+{
+    if (rx.nackedAt == rx.expected)
+        return;
+    rx.nackedAt = rx.expected;
+    sendCtrl(src, mesh::PacketKind::Nack, rx.expected);
+}
+
+void
+NicBase::handleAck(const mesh::Packet &pkt)
+{
+    auto it = channels.find(pkt.src);
+    if (it == channels.end())
+        return;
+    RelChannel &ch = it->second;
+
+    bool progress = false;
+    while (!ch.unacked.empty() && ch.unacked.front().seq < pkt.seq) {
+        ch.unacked.pop_front();
+        ch.sentAt.pop_front();
+        progress = true;
+    }
+    if (progress) {
+        ch.rtoNow = _rel.rtoBase;
+        ch.rtoStreak = 0;
+    }
+    ch.rto.cancel();
+    if (!ch.unacked.empty())
+        armRto(ch, pkt.src);
+}
+
+void
+NicBase::handleNack(const mesh::Packet &pkt)
+{
+    auto it = channels.find(pkt.src);
+    if (it == channels.end())
+        return;
+    RelChannel &ch = it->second;
+
+    // A NACK for seq acknowledges everything before it...
+    while (!ch.unacked.empty() && ch.unacked.front().seq < pkt.seq) {
+        ch.unacked.pop_front();
+        ch.sentAt.pop_front();
+        ch.rtoNow = _rel.rtoBase;
+        ch.rtoStreak = 0;
+    }
+    // ...and requests a go-back-N resend of everything from it on.
+    if (!ch.unacked.empty())
+        retransmit(ch, pkt.src);
+    else
+        ch.rto.cancel();
+}
+
+void
+NicBase::retransmit(RelChannel &ch, NodeId dst)
+{
+    auto &sim = _node.simulation();
+    auto &stats = sim.stats();
+
+    Tick oldest = ch.sentAt.front();
+    for (std::size_t i = 0; i < ch.unacked.size(); ++i) {
+        stats.counter("mesh.retransmits").inc();
+        mesh::Packet copy = ch.unacked[i];
+        _net.send(std::move(copy));
+    }
+    if (trace_json::enabled())
+        trace_json::completeEvent(
+            relTrack(), "retx", oldest, sim.now(),
+            strfmt("{\"dst\":%u,\"packets\":%zu,\"first_seq\":%llu}",
+                   dst, ch.unacked.size(),
+                   (unsigned long long)ch.unacked.front().seq));
+
+    ch.rto.cancel();
+    armRto(ch, dst);
+}
+
+void
+NicBase::armRto(RelChannel &ch, NodeId dst)
+{
+    auto &sim = _node.simulation();
+    ch.rto = sim.scheduleCancellable(ch.rtoNow,
+                                     [this, dst] { rtoFire(dst); });
+}
+
+void
+NicBase::rtoFire(NodeId dst)
+{
+    RelChannel &ch = channels[dst];
+    if (ch.unacked.empty())
+        return;
+
+    auto &sim = _node.simulation();
+    sim.stats().counter("mesh.rto_fires").inc();
+    if (++ch.rtoStreak > _rel.rtoGiveUp)
+        fatal("%s: %d retransmission timeouts to node %u without "
+              "progress -- link permanently down?",
+              _node.name().c_str(), ch.rtoStreak, dst);
+    ch.rtoNow = std::min(ch.rtoNow * 2, _rel.rtoMax);
+    retransmit(ch, dst);
+}
+
+void
+NicBase::sendCtrl(NodeId dst, mesh::PacketKind kind, std::uint64_t seq)
+{
+    auto &stats = _node.simulation().stats();
+    stats.counter(kind == mesh::PacketKind::Ack ? "mesh.acks"
+                                                : "mesh.nacks")
+        .inc();
+
+    mesh::Packet pkt;
+    pkt.src = _node.id();
+    pkt.dst = dst;
+    pkt.wireBytes = _rel.ctrlWireBytes;
+    pkt.hwPackets = 1;
+    pkt.kind = kind;
+    pkt.seq = seq;
+    pkt.checksum = mesh::packetChecksum(pkt);
+    _net.send(std::move(pkt));
 }
 
 } // namespace shrimp::nic

@@ -6,12 +6,24 @@
  * with user-level DMA and automatic update) and BaselineNic (a
  * Myrinet-style firmware-mediated adapter used for the "did it make
  * sense to build hardware?" comparison, Sec 4.1).
+ *
+ * The base class also owns the link-level reliability protocol used
+ * when the mesh fault plane is active (mesh/fault.hh): per-(src,dst)
+ * sequence numbers and checksums on every packet, receiver-side
+ * duplicate/gap detection, cumulative ACKs, go-back-N NACKs, and a
+ * sender retransmit buffer with timeout + exponential backoff. The
+ * protocol preserves the in-order delivery invariant VMMC relies on:
+ * a receiver hands packets to the NI model strictly in sequence
+ * order, exactly once. With the fault plane off, every packet passes
+ * straight through with zero protocol state or overhead.
  */
 
 #ifndef SHRIMP_NIC_NIC_BASE_HH
 #define SHRIMP_NIC_NIC_BASE_HH
 
+#include <deque>
 #include <functional>
+#include <unordered_map>
 
 #include "mesh/network.hh"
 #include "nic/packet.hh"
@@ -20,6 +32,32 @@
 
 namespace shrimp::nic
 {
+
+/** Tunables of the link-level reliability protocol (fault mode). */
+struct ReliabilityParams
+{
+    /**
+     * Initial retransmission timeout. Deliberately conservative: lost
+     * packets in the middle of a window are recovered fast via NACKs,
+     * so the timer only covers losses at the tail of a window, and a
+     * short timeout fires spuriously whenever mesh backlog delays an
+     * ACK beyond it (costing duplicate traffic, not correctness).
+     */
+    Tick rtoBase = microseconds(300);
+
+    /** Backoff cap: RTO doubles per fire up to this. */
+    Tick rtoMax = microseconds(5000);
+
+    /**
+     * Consecutive timeouts without forward progress before the NIC
+     * declares the path dead (fatal). Bounds simulation time under a
+     * permanent outage.
+     */
+    int rtoGiveUp = 64;
+
+    /** On-wire size of an ACK/NACK packet (header only). */
+    std::uint32_t ctrlWireBytes = 16;
+};
 
 /**
  * A deliberate-update transfer request as issued by the VMMC library.
@@ -61,7 +99,8 @@ class NicBase
     /**
      * @param n Owning node (the NIC writes arriving data into its
      *          memory and raises interrupts at its OS).
-     * @param net The backplane.
+     * @param net The backplane; the NIC attaches itself as the
+     *            receiver for the node.
      */
     NicBase(node::Node &n, mesh::Network &net);
 
@@ -75,6 +114,12 @@ class NicBase
 
     /** Owning node. */
     node::Node &owner() { return _node; }
+
+    /** Is the link-level reliability protocol running? */
+    bool reliable() const { return _reliable; }
+
+    /** Override the reliability tunables (before traffic flows). */
+    void setReliabilityParams(const ReliabilityParams &p) { _rel = p; }
 
     // ------------------------------------------------------------------
     // Mapping setup (driven by the VMMC system layer)
@@ -155,12 +200,65 @@ class NicBase
     void setNotifyHook(NotifyHook h) { notifyHook = std::move(h); }
 
   protected:
+    /**
+     * Inject @p pkt into the backplane. With reliability on, stamps
+     * the per-destination sequence number and checksum, keeps a copy
+     * in the retransmit buffer and arms the retransmission timer;
+     * with it off, forwards straight to the mesh.
+     */
+    void netSend(mesh::Packet pkt);
+
+    /**
+     * Implementation delivery point: a verified, in-order data packet
+     * (the only kind the subclass ever sees). Event context.
+     */
+    virtual void receive(const mesh::Packet &pkt) = 0;
+
     node::Node &_node;
     mesh::Network &_net;
     OutgoingPageTable _opt;
     IncomingPageTable _ipt;
     DeliverHook deliverHook;
     NotifyHook notifyHook;
+
+  private:
+    /** Sender-side per-destination reliability state. */
+    struct RelChannel
+    {
+        std::uint64_t nextSeq = 1;      //!< next sequence to assign
+        std::deque<mesh::Packet> unacked; //!< retransmit buffer, seq order
+        std::deque<Tick> sentAt;        //!< first-send time, parallel
+        EventHandle rto;                //!< pending timeout, if any
+        Tick rtoNow = 0;                //!< current backoff value
+        int rtoStreak = 0;              //!< consecutive fires, no progress
+    };
+
+    /** Receiver-side per-source reliability state. */
+    struct RelReceiver
+    {
+        std::uint64_t expected = 1; //!< next in-order sequence
+        std::uint64_t nackedAt = 0; //!< expected value already NACKed
+    };
+
+    /** Mesh delivery entry point: filters the reliability protocol. */
+    void linkReceive(const mesh::Packet &pkt);
+
+    void handleAck(const mesh::Packet &pkt);
+    void handleNack(const mesh::Packet &pkt);
+    void sendCtrl(NodeId dst, mesh::PacketKind kind, std::uint64_t seq);
+    void sendNackOnce(RelReceiver &rx, NodeId src);
+    void armRto(RelChannel &ch, NodeId dst);
+    void rtoFire(NodeId dst);
+    void retransmit(RelChannel &ch, NodeId dst);
+
+    /** Cached trace track id ("<node>.rel"), fault mode only. */
+    int relTrack();
+
+    bool _reliable = false;
+    ReliabilityParams _rel;
+    std::unordered_map<NodeId, RelChannel> channels;
+    std::unordered_map<NodeId, RelReceiver> rxStreams;
+    int _relTrack = -1;
 };
 
 } // namespace shrimp::nic

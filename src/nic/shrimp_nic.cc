@@ -29,7 +29,6 @@ ShrimpNic::ShrimpNic(node::Node &n, mesh::Network &net,
     : NicBase(n, net), sim(n.simulation()), _params(params),
       statPrefix(n.name() + ".nic")
 {
-    _net.attach(n.id(), [this](const mesh::Packet &p) { receive(p); });
     sim.spawn(statPrefix + ".du_engine", [this] { duEngineBody(); });
 }
 
@@ -158,7 +157,7 @@ ShrimpNic::duEngineBody()
             mp2.dst = dst;
             mp2.wireBytes = wire;
             mp2.payload = payload;
-            _net.send(std::move(mp2));
+            netSend(std::move(mp2));
         });
 
         duEngineBusy = false;
@@ -333,20 +332,22 @@ ShrimpNic::flushTrain(AuTrain &train)
     };
 
     auto payload = std::make_shared<NicPayload>();
+    std::uint32_t hw = pkt.packetCount;
     payload->body = std::move(pkt);
     NodeId dst = train.dstNode;
     NodeId src = nodeId();
 
     std::uint32_t credit_bytes = contribution;
     sim.schedule(inj - sim.now(),
-                 [this, payload, wire, dst, src, credit_bytes] {
+                 [this, payload, wire, dst, src, credit_bytes, hw] {
         fifoCredit(credit_bytes);
         mesh::Packet mp;
         mp.src = src;
         mp.dst = dst;
         mp.wireBytes = wire;
+        mp.hwPackets = hw;
         mp.payload = payload;
-        _net.send(std::move(mp));
+        netSend(std::move(mp));
     });
 
     train = AuTrain();

@@ -134,7 +134,7 @@ class ShrimpNic : public NicBase
     void duEngineBody();
     void flushTrain(AuTrain &train);
     void fifoCredit(std::uint32_t wire_bytes);
-    void receive(const mesh::Packet &pkt);
+    void receive(const mesh::Packet &pkt) override;
     void finishDelivery(const Delivery &d, bool want_notify);
 
     /** Cached trace track id ("<node>.nic"). */

@@ -56,6 +56,19 @@ RunReport::writeJson(std::ostream &os, bool pretty) const
         w.endObject();
     }
 
+    if (faults.enabled) {
+        w.beginObject("faults");
+        w.field("drops", faults.drops);
+        w.field("outage_drops", faults.outageDrops);
+        w.field("corruptions", faults.corruptions);
+        w.field("retransmits", faults.retransmits);
+        w.field("rto_fires", faults.rtoFires);
+        w.field("dup_rx", faults.dupRx);
+        w.field("acks", faults.acks);
+        w.field("nacks", faults.nacks);
+        w.endObject();
+    }
+
     w.beginObject("params");
     for (const auto &kv : params)
         w.field(kv.first, kv.second);

@@ -33,7 +33,7 @@ namespace shrimp
 struct RunReport
 {
     /** Bump when a field changes meaning or layout. */
-    static constexpr int kSchemaVersion = 1;
+    static constexpr int kSchemaVersion = 2;
 
     std::string app;
     int nprocs = 0;
@@ -60,6 +60,25 @@ struct RunReport
         double eventsPerSec = 0;      //!< events / wallSeconds
     };
     HostPerf host;
+
+    /**
+     * Fault-injection outcome of the run. Serialized only when the
+     * mesh fault plane was active, so lossless-run reports carry no
+     * extra noise.
+     */
+    struct Faults
+    {
+        bool enabled = false;
+        std::uint64_t drops = 0;        //!< packets killed in flight
+        std::uint64_t outageDrops = 0;  //!< subset due to link outages
+        std::uint64_t corruptions = 0;  //!< checksums perturbed in flight
+        std::uint64_t retransmits = 0;  //!< data packets resent
+        std::uint64_t rtoFires = 0;     //!< retransmission timeouts
+        std::uint64_t dupRx = 0;        //!< duplicates filtered at rx
+        std::uint64_t acks = 0;         //!< ACK control packets sent
+        std::uint64_t nacks = 0;        //!< NACK control packets sent
+    };
+    Faults faults;
 
     /** Workload knobs (sizes, protocol, seed, CLI what-ifs). */
     std::map<std::string, std::string> params;

@@ -129,8 +129,17 @@ openFromEnv()
     if (detail::g_enabled)
         return;
     const char *path = std::getenv("SHRIMP_TRACE");
-    if (path && *path)
+    if (path && *path) {
         open(path);
+        // Binaries that enable tracing via the environment (examples,
+        // benches) never call close() themselves; without the footer
+        // the file is not valid JSON.
+        static bool registered = false;
+        if (!registered) {
+            registered = true;
+            std::atexit([] { close(); });
+        }
+    }
 }
 
 int

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "mesh/network.hh"
@@ -170,14 +171,80 @@ TEST(Network, DisjointPathsDontInterfere)
     EXPECT_EQ(h.arrivals[1][0].when, h.arrivals[5][0].when);
 }
 
-TEST(Network, LoopbackUsesLoopbackLatency)
+TEST(Network, LoopbackChargesSerialization)
 {
+    // Regression: loopback used to deliver after loopbackLatency alone,
+    // making a node-local 4 KB transfer as fast as a 4-byte one. The
+    // payload still streams through the adapter at link bandwidth.
     NetworkParams p;
     NetHarness h(p);
     h.send(6, 6, 512);
     h.sim.run();
     ASSERT_EQ(h.arrivals[6].size(), 1u);
-    EXPECT_EQ(h.arrivals[6][0].when, p.loopbackLatency);
+    EXPECT_EQ(h.arrivals[6][0].when,
+              p.loopbackLatency + transferTime(512, p.linkBytesPerSec));
+}
+
+TEST(Network, LoopbackBigPacketsSlowerThanSmall)
+{
+    NetworkParams p;
+    NetHarness small(p), big(p);
+    small.send(6, 6, 4);
+    big.send(6, 6, 4096);
+    small.sim.run();
+    big.sim.run();
+    ASSERT_EQ(small.arrivals[6].size(), 1u);
+    ASSERT_EQ(big.arrivals[6].size(), 1u);
+    Tick gap = big.arrivals[6][0].when - small.arrivals[6][0].when;
+    EXPECT_EQ(gap, transferTime(4096, p.linkBytesPerSec) -
+                       transferTime(4, p.linkBytesPerSec));
+}
+
+TEST(Network, LoopbackBackToBackSerializes)
+{
+    // Two loopback sends issued at the same instant share the internal
+    // path, like two packets sharing a link.
+    NetworkParams p;
+    NetHarness h(p);
+    h.send(6, 6, 2048);
+    h.send(6, 6, 2048);
+    h.sim.run();
+    ASSERT_EQ(h.arrivals[6].size(), 2u);
+    Tick gap = h.arrivals[6][1].when - h.arrivals[6][0].when;
+    EXPECT_EQ(gap, transferTime(2048, p.linkBytesPerSec));
+}
+
+TEST(Network, MemoizedRouteMatchesTopology)
+{
+    NetHarness h;
+    const Topology &t = h.net.topology();
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            auto expect = t.route(s, d);
+            // Query twice: the second hit must come from the cache and
+            // still match.
+            for (int pass = 0; pass < 2; ++pass) {
+                auto [begin, end] = h.net.route(s, d);
+                ASSERT_EQ(std::size_t(end - begin), expect.size());
+                EXPECT_TRUE(std::equal(begin, end, expect.begin()));
+            }
+        }
+    }
+}
+
+TEST(Network, MeshPacketsCountsHardwarePackets)
+{
+    // An AU train event carries hwPackets wire packets; mesh.packets
+    // must count them all so it agrees with the NIC's packets_in.
+    NetHarness h;
+    Packet p;
+    p.src = 0;
+    p.dst = 3;
+    p.wireBytes = 256;
+    p.hwPackets = 16;
+    h.net.send(std::move(p));
+    h.sim.run();
+    EXPECT_EQ(h.sim.stats().counterValue("mesh.packets"), 16u);
 }
 
 TEST(Network, ManyToOneCongestsEjectionLinks)

@@ -155,6 +155,10 @@ TEST(ShrimpNic, AuTrainCountsUncombinedPackets)
     });
     h.sim.run();
     EXPECT_EQ(h.sim.stats().counterValue("node0.nic.au_packets"), 16u);
+    // The mesh and the receiving NIC agree: both count the 16 wire
+    // packets the train stands for, not the single mesh event.
+    EXPECT_EQ(h.sim.stats().counterValue("mesh.packets"), 16u);
+    EXPECT_EQ(h.sim.stats().counterValue("node1.nic.packets_in"), 16u);
     // Data landed correctly.
     for (int i = 0; i < 16; ++i) {
         std::uint64_t v;

@@ -69,6 +69,18 @@ usage(const char *argv0)
         "  --fifo BYTES       outgoing FIFO capacity (Sec 4.5.2)\n"
         "  --du-queue N       DU request queue depth (Sec 4.5.3)\n"
         "\n"
+        "fault injection (deterministic; any of these enables the\n"
+        "link-level retransmission protocol in the NICs):\n"
+        "  --fault-drop-rate P       per-link-crossing drop probability\n"
+        "  --fault-corrupt-rate P    per-crossing corruption probability\n"
+        "  --fault-jitter-rate P     per-crossing extra-delay probability\n"
+        "  --fault-max-jitter NS     max extra delay, nanoseconds\n"
+        "  --fault-seed N            fault-plane RNG seed (default 1)\n"
+        "  --fault-link-down L:T0:T1 link L dead from T0 to T1 (us);\n"
+        "                            repeatable\n"
+        "  --fault-reliability       run the protocol with no faults\n"
+        "  (SHRIMP_FAULT_* environment variables set the same knobs)\n"
+        "\n"
         "observability:\n"
         "  --stats-json FILE  write the JSON run report to FILE\n"
         "  --trace FILE       record a Chrome trace_event timeline\n"
@@ -109,6 +121,17 @@ Options::parse(int argc, char **argv)
             usage(argv[0]);
         }
         return argv[++i];
+    };
+    auto needRate = [&](int &i) -> double {
+        const char *flag = argv[i];
+        double p = std::atof(need(i));
+        if (p < 0.0 || p > 1.0) {
+            std::fprintf(stderr,
+                         "%s: %s wants a probability in [0, 1], got %g\n",
+                         argv[0], flag, p);
+            usage(argv[0]);
+        }
+        return p;
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -169,6 +192,31 @@ Options::parse(int argc, char **argv)
                 std::uint32_t(std::atoi(need(i)));
         } else if (a == "--du-queue") {
             o.cluster.shrimpNic.duQueueDepth = std::atoi(need(i));
+        } else if (a == "--fault-drop-rate") {
+            o.cluster.network.fault.dropRate = needRate(i);
+        } else if (a == "--fault-corrupt-rate") {
+            o.cluster.network.fault.corruptRate = needRate(i);
+        } else if (a == "--fault-jitter-rate") {
+            o.cluster.network.fault.jitterRate = needRate(i);
+        } else if (a == "--fault-max-jitter") {
+            o.cluster.network.fault.maxJitter =
+                nanoseconds(std::atof(need(i)));
+        } else if (a == "--fault-seed") {
+            o.cluster.network.fault.seed =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--fault-link-down") {
+            mesh::LinkOutage outage;
+            const char *spec = need(i);
+            if (!mesh::parseLinkOutage(spec, outage)) {
+                std::fprintf(stderr,
+                             "%s: bad outage spec '%s' (want "
+                             "LINK:T0us:T1us)\n",
+                             argv[0], spec);
+                usage(argv[0]);
+            }
+            o.cluster.network.fault.outages.push_back(outage);
+        } else if (a == "--fault-reliability") {
+            o.cluster.network.fault.forceReliability = true;
         } else if (a == "--stats-json") {
             o.statsJson = need(i);
         } else if (a == "--trace") {
@@ -288,6 +336,14 @@ main(int argc, char **argv)
             r.param("cli_nic", "baseline");
         if (!o.cluster.udmaSends)
             r.param("cli_no_udma", "1");
+        const auto &f = o.cluster.network.fault;
+        if (f.reliabilityEnabled()) {
+            r.param("cli_fault_drop_rate", f.dropRate);
+            r.param("cli_fault_corrupt_rate", f.corruptRate);
+            r.param("cli_fault_jitter_rate", f.jitterRate);
+            r.param("cli_fault_seed", f.seed);
+            r.param("cli_fault_outages", f.outages.size());
+        }
         RunReport rep = makeReport(r);
         rep.writeFile(o.statsJson);
         std::printf("report:         %s\n", o.statsJson.c_str());

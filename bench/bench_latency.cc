@@ -33,7 +33,7 @@ struct LatencyResult
 
 /** One-way latency for a small message under a given setup. */
 LatencyResult
-measureOneWay(NicKind kind, bool use_au)
+measureOneWay(NicKind kind, bool use_au, const char *name)
 {
     ClusterConfig cfg;
     cfg.nicKind = kind;
@@ -90,6 +90,22 @@ measureOneWay(NicKind kind, bool use_au)
         }
     });
     c.run();
+
+    // Feed the report/metrics sinks (SHRIMP_REPORT_JSONL,
+    // SHRIMP_METRICS) so shrimp_analyze can attribute the latency it
+    // reports above to pipeline stages.
+    apps::AppResult r;
+    r.name = name;
+    r.nprocs = 2;
+    r.elapsed = c.sim().now();
+    r.messages = c.sumNodeCounter("vmmc.messages");
+    r.checksum = std::uint64_t(kReps);
+    r.param("nic", kind == NicKind::Shrimp ? "shrimp" : "baseline");
+    r.param("au", use_au ? 1 : 0);
+    r.param("reps", kReps);
+    apps::captureStats(r, c);
+    bench::maybeEmitReport(r);
+
     return {lat.mean(), lat.percentile(50), lat.percentile(95)};
 }
 
@@ -151,9 +167,12 @@ main()
         "Sec 4.1/4.2 (6 us DU, 3.71 us AU, <2 us overhead, ~10 us "
         "Myrinet)");
 
-    LatencyResult shrimp_du = measureOneWay(NicKind::Shrimp, false);
-    LatencyResult shrimp_au = measureOneWay(NicKind::Shrimp, true);
-    LatencyResult myrinet = measureOneWay(NicKind::Baseline, false);
+    LatencyResult shrimp_du =
+        measureOneWay(NicKind::Shrimp, false, "latency-du");
+    LatencyResult shrimp_au =
+        measureOneWay(NicKind::Shrimp, true, "latency-au");
+    LatencyResult myrinet =
+        measureOneWay(NicKind::Baseline, false, "latency-myrinet");
     double overhead = measureSendOverhead(NicKind::Shrimp);
 
     std::printf("%-38s %10s %10s %8s %8s\n", "metric", "paper",

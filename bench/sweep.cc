@@ -18,25 +18,23 @@ namespace
 {
 
 /**
- * The JSONL report sink: one shared FILE handle for the whole
- * process, lazily opened, append-guarded by a mutex. A bad path is
- * complained about exactly once.
+ * An append-only line sink bound to an environment variable naming
+ * its file: one shared FILE handle for the whole process, lazily
+ * opened, append-guarded by a mutex. A bad path is complained about
+ * exactly once. Chunks are written verbatim (callers terminate their
+ * own lines), so one sink serves both the one-line RunReport stream
+ * and multi-line metrics series.
  */
-class ReportSink
+class LineSink
 {
   public:
-    static ReportSink &
-    instance()
-    {
-        static ReportSink sink;
-        return sink;
-    }
+    explicit LineSink(const char *env_var) : envVar(env_var) {}
 
     void
-    append(const std::string &line)
+    append(const std::string &chunk)
     {
         std::lock_guard<std::mutex> lock(mutex);
-        const char *p = std::getenv("SHRIMP_REPORT_JSONL");
+        const char *p = std::getenv(envVar);
         if (!p || !*p)
             return;
         // Open once per path; if the environment repoints the sink
@@ -47,35 +45,49 @@ class ReportSink
             path = p;
             out = std::fopen(p, "a");
             if (!out)
-                warn("cannot append run reports to %s", p);
+                warn("cannot append to %s (%s)", p, envVar);
         }
         if (!out)
             return;
-        std::fputs(line.c_str(), out);
-        std::fputc('\n', out);
+        std::fputs(chunk.c_str(), out);
         std::fflush(out);
     }
 
     bool
     enabled() const
     {
-        const char *p = std::getenv("SHRIMP_REPORT_JSONL");
+        const char *p = std::getenv(envVar);
         return p && *p;
     }
 
   private:
-    ReportSink() = default;
-
+    const char *envVar;
     std::string path;
     std::mutex mutex;
     std::FILE *out = nullptr;
 };
 
+LineSink &
+reportSink()
+{
+    static LineSink sink("SHRIMP_REPORT_JSONL");
+    return sink;
+}
+
+LineSink &
+metricsSink()
+{
+    static LineSink sink("SHRIMP_METRICS");
+    return sink;
+}
+
 /**
- * While a sweep job runs, its thread redirects report lines into a
- * per-job buffer; the sweep flushes the buffers in submission order.
+ * While a sweep job runs, its thread redirects report lines and
+ * metrics chunks into per-job buffers; the sweep flushes the buffers
+ * in submission order.
  */
 thread_local std::vector<std::string> *tl_report_buffer = nullptr;
+thread_local std::vector<std::string> *tl_metrics_buffer = nullptr;
 
 } // anonymous namespace
 
@@ -94,14 +106,27 @@ sweepJobs()
 void
 emitReport(const RunReport &report)
 {
-    ReportSink &sink = ReportSink::instance();
+    LineSink &sink = reportSink();
     if (!sink.enabled())
         return;
     std::string line = report.toJson(/*pretty=*/false);
+    line += '\n';
     if (tl_report_buffer)
         tl_report_buffer->push_back(std::move(line));
     else
         sink.append(line);
+}
+
+void
+emitMetrics(const std::string &chunk)
+{
+    LineSink &sink = metricsSink();
+    if (!sink.enabled())
+        return;
+    if (tl_metrics_buffer)
+        tl_metrics_buffer->push_back(chunk);
+    else
+        sink.append(chunk);
 }
 
 namespace detail
@@ -114,11 +139,14 @@ runJobs(std::size_t count, const std::function<void(std::size_t)> &run_one)
         return;
 
     std::vector<std::vector<std::string>> buffers(count);
+    std::vector<std::vector<std::string>> metricsBuffers(count);
 
     auto run_buffered = [&](std::size_t i) {
         tl_report_buffer = &buffers[i];
+        tl_metrics_buffer = &metricsBuffers[i];
         run_one(i);
         tl_report_buffer = nullptr;
+        tl_metrics_buffer = nullptr;
     };
 
     // The trace recorder is process-global; keep traced runs serial.
@@ -153,7 +181,10 @@ runJobs(std::size_t count, const std::function<void(std::size_t)> &run_one)
     // Submission-ordered flush: byte-identical serial vs parallel.
     for (auto &buf : buffers)
         for (auto &line : buf)
-            ReportSink::instance().append(line);
+            reportSink().append(line);
+    for (auto &buf : metricsBuffers)
+        for (auto &chunk : buf)
+            metricsSink().append(chunk);
 }
 
 } // namespace detail

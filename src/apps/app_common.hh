@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/cluster.hh"
+#include "sim/lifecycle.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/run_report.hh"
 #include "sim/stats.hh"
 #include "sim/time_account.hh"
@@ -59,6 +61,12 @@ struct AppResult
     /** Events the simulation executed (host-perf reporting). */
     std::uint64_t hostEvents = 0;
 
+    /** Time-series samples (empty unless the sampler ran). */
+    MetricsSeries metrics;
+
+    /** Sampling cadence the series was recorded at (0 = off). */
+    Tick metricsInterval = 0;
+
     /** Host wall time of the run; filled by the bench harness. */
     double hostWallSeconds = 0;
 
@@ -91,6 +99,8 @@ captureStats(AppResult &result, core::Cluster &cluster)
 {
     result.stats = cluster.sim().stats();
     result.hostEvents = cluster.sim().events().executed();
+    result.metrics = cluster.metrics().series();
+    result.metricsInterval = cluster.config().metricsInterval;
 }
 
 /** Assemble the machine-readable report for a finished run. */
@@ -118,6 +128,25 @@ makeReport(const AppResult &r)
         rep.faults.dupRx = r.stats.counterValue("mesh.dup_rx");
         rep.faults.acks = r.stats.counterValue("mesh.acks");
         rep.faults.nacks = r.stats.counterValue("mesh.nacks");
+    }
+    const Histogram *total = r.stats.findHistogram(
+        lifeStageHistName(LifeStage::Total));
+    if (total && total->count() > 0) {
+        rep.latency.enabled = true;
+        for (int s = 0; s < int(LifeStage::kCount); ++s) {
+            const Histogram *h = r.stats.findHistogram(
+                lifeStageHistName(LifeStage(s)));
+            if (!h)
+                continue;
+            RunReport::StageLatency sl;
+            sl.stage = lifeStageName(LifeStage(s));
+            sl.count = h->count();
+            sl.meanUs = h->mean();
+            sl.p50Us = h->percentile(50);
+            sl.p95Us = h->percentile(95);
+            sl.p99Us = h->percentile(99);
+            rep.latency.stages.push_back(std::move(sl));
+        }
     }
     return rep;
 }

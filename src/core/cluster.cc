@@ -1,5 +1,7 @@
 #include "core/cluster.hh"
 
+#include <cstdlib>
+
 #include "core/vmmc.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
@@ -14,6 +16,17 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
     // programmatic config, so any tool or benchmark can be run against
     // a lossy backplane without changing code.
     _config.network.fault = mesh::faultParamsFromEnv(_config.network.fault);
+    // Flight-recorder knobs follow the same pattern: SHRIMP_METRICS
+    // names the sink (consumed by the benchmarks/tools), and setting
+    // it implies a default 10 us sampling cadence here.
+    if (const char *e = std::getenv("SHRIMP_LIFECYCLE");
+        e && *e && *e != '0')
+        _config.lifecycleTracing = true;
+    if (const char *e = std::getenv("SHRIMP_METRICS_INTERVAL_US");
+        e && *e)
+        _config.metricsInterval = microseconds(std::atof(e));
+    if (_config.metricsInterval == 0 && std::getenv("SHRIMP_METRICS"))
+        _config.metricsInterval = microseconds(10);
     _network = std::make_unique<mesh::Network>(
         _sim, _config.meshWidth, _config.meshHeight, _config.network);
 
@@ -39,7 +52,65 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
             *this, *nodes.back(), *nics.back()));
     }
 
+    if (_config.lifecycleTracing)
+        _lifecycle.enable(_sim.stats());
+    for (auto &np : nics)
+        np->setLifecycle(&_lifecycle);
+
+    if (_config.metricsInterval > 0) {
+        registerGauges();
+        _sampler.start(_sim, _config.metricsInterval);
+    }
+
     _sim.rng() = Random(config.seed);
+}
+
+void
+Cluster::registerGauges()
+{
+    auto &stats = _sim.stats();
+    double interval_ps = double(_config.metricsInterval);
+
+    // Utilization gauges report the fraction of the *last sampling
+    // interval* a resource was booked, as the delta of the underlying
+    // busy-time counter. The mutable lambda state lives in the gauge.
+    auto util = [&stats, interval_ps](std::string counter) {
+        return [&stats, interval_ps, counter,
+                prev = 0.0]() mutable {
+            double v = double(stats.counterValue(counter));
+            double d = v - prev;
+            prev = v;
+            return d / interval_ps;
+        };
+    };
+
+    for (auto &np : nodes) {
+        const std::string &nm = np->name();
+        _sampler.addGauge(nm + ".bus_util", util(nm + ".bus_busy_ps"));
+        if (_config.nicKind == NicKind::Shrimp) {
+            auto *snic = static_cast<nic::ShrimpNic *>(
+                nics[np->id()].get());
+            _sampler.addGauge(nm + ".nic.fifo_fill",
+                              [snic] { return double(snic->fifoFill()); });
+            _sampler.addGauge(nm + ".nic.eisa_util",
+                              util(nm + ".nic.eisa_busy_ps"));
+        }
+        if (_network->reliabilityEnabled()) {
+            auto *nic = nics[np->id()].get();
+            _sampler.addGauge(nm + ".rel.retx_backlog", [nic] {
+                return double(nic->retransmitBacklog());
+            });
+        }
+    }
+
+    _sampler.addGauge("mesh.link_backlog_us", [this] {
+        return toMicroseconds(_network->maxLinkBacklog(_sim.now()));
+    });
+    _sampler.addGauge("mesh.links_busy", [this] {
+        return double(_network->busyLinkCount(_sim.now()));
+    });
+    _sampler.addGauge("sim.event_queue",
+                      [this] { return double(_sim.events().size()); });
 }
 
 Cluster::~Cluster() = default;

@@ -17,6 +17,8 @@
 #include "nic/baseline_nic.hh"
 #include "nic/shrimp_nic.hh"
 #include "node/node.hh"
+#include "sim/lifecycle.hh"
+#include "sim/metrics.hh"
 #include "sim/simulation.hh"
 
 namespace shrimp::core
@@ -61,6 +63,21 @@ struct ClusterConfig
 
     /** RNG seed for workloads. */
     std::uint64_t seed = 42;
+
+    /**
+     * Flight-recorder sampling cadence (simulated time); 0 disables
+     * the metrics sampler. Also settable via SHRIMP_METRICS_INTERVAL_US
+     * (setting SHRIMP_METRICS alone defaults the cadence to 10 us).
+     */
+    Tick metricsInterval = 0;
+
+    /**
+     * Per-packet lifecycle latency attribution. Adds per-stage
+     * histograms and a latency_breakdown report block; sampling is
+     * read-only, so simulated timing and checksums are unchanged.
+     * Also settable via SHRIMP_LIFECYCLE=1.
+     */
+    bool lifecycleTracing = false;
 };
 
 /**
@@ -109,8 +126,17 @@ class Cluster
     /** Aggregate a per-node counter over all nodes ("<node>.X"). */
     std::uint64_t sumNodeCounter(const std::string &suffix);
 
+    /** Time-series sampler (running only when metricsInterval > 0). */
+    MetricsSampler &metrics() { return _sampler; }
+
+    /** Packet lifecycle tracer (may be disabled). */
+    LifecycleTracer &lifecycle() { return _lifecycle; }
+
   private:
     friend class Endpoint;
+
+    /** Bind the sampler's gauges (called when sampling is on). */
+    void registerGauges();
 
     ClusterConfig _config;
     Simulation _sim;
@@ -118,6 +144,8 @@ class Cluster
     std::vector<std::unique_ptr<node::Node>> nodes;
     std::vector<std::unique_ptr<nic::NicBase>> nics;
     std::vector<std::unique_ptr<Endpoint>> endpoints;
+    LifecycleTracer _lifecycle;
+    MetricsSampler _sampler;
 };
 
 } // namespace shrimp::core

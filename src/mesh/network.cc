@@ -88,6 +88,8 @@ Network::send(Packet pkt)
         Tick start = std::max(sim.now(), loopbackBusyUntil[pkt.src]);
         loopbackBusyUntil[pkt.src] = start + serialization;
         Tick deliver = start + serialization + _params.loopbackLatency;
+        if (pkt.life.id)
+            pkt.life.delivered = deliver;
         auto p = std::make_shared<Packet>(std::move(pkt));
         sim.schedule(deliver - sim.now(),
                      [this, p] { receivers[p->dst](*p); });
@@ -158,9 +160,31 @@ Network::send(Packet pkt)
                    pkt.dst, pkt.wireBytes));
     }
 
+    if (pkt.life.id)
+        pkt.life.delivered = deliver;
     auto p = std::make_shared<Packet>(std::move(pkt));
     sim.schedule(deliver - sim.now(),
                  [this, p] { receivers[p->dst](*p); });
+}
+
+Tick
+Network::maxLinkBacklog(Tick now) const
+{
+    Tick deepest = 0;
+    for (Tick t : linkBusyUntil)
+        if (t > now && t - now > deepest)
+            deepest = t - now;
+    return deepest;
+}
+
+std::size_t
+Network::busyLinkCount(Tick now) const
+{
+    std::size_t n = 0;
+    for (Tick t : linkBusyUntil)
+        if (t > now)
+            ++n;
+    return n;
 }
 
 } // namespace shrimp::mesh

@@ -101,6 +101,16 @@ class Network
      */
     std::pair<const int *, const int *> route(NodeId src, NodeId dst);
 
+    /**
+     * Deepest per-link backlog at @p now: the largest amount of
+     * simulated time any link's busy-until timeline extends into the
+     * future. A read-only gauge for the metrics sampler.
+     */
+    Tick maxLinkBacklog(Tick now) const;
+
+    /** Number of links whose timelines extend past @p now. */
+    std::size_t busyLinkCount(Tick now) const;
+
     /** Is any fault source configured? */
     bool faultsEnabled() const { return injector != nullptr; }
 

@@ -28,6 +28,22 @@ enum class PacketKind : std::uint8_t
     Nack, //!< go-back-N resend request; seq = first missing
 };
 
+/**
+ * Lifecycle stamps a packet carries when per-packet latency
+ * attribution is on (sim/lifecycle.hh). id == 0 means tracing is off
+ * for this packet and every consumer ignores the stamps. All times
+ * are absolute simulation ticks; the stage durations derived from
+ * them are defined in LifecycleTracer.
+ */
+struct PacketLife
+{
+    std::uint64_t id = 0; //!< trace id, stamped at send; 0 = untraced
+    Tick born = 0;        //!< send API entered (CPU starts paying)
+    Tick queued = 0;      //!< accepted by the NI (queue/train flush)
+    Tick injected = 0;    //!< first byte onto the backplane
+    Tick delivered = 0;   //!< tail arrived at the destination NI
+};
+
 /** A packet in flight on the backplane. */
 struct Packet
 {
@@ -64,6 +80,13 @@ struct Packet
 
     /** Opaque NI-level payload, handed to the receiver untouched. */
     std::shared_ptr<void> payload;
+
+    /**
+     * Lifecycle stamps (flight recorder). Not covered by
+     * packetChecksum: the stamps are observability metadata, not
+     * protocol state, so corrupting them is meaningless.
+     */
+    PacketLife life;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/lifecycle.hh"
 #include "sim/logging.hh"
 
 namespace shrimp::nic
@@ -25,6 +26,12 @@ BaselineNic::submitDeliberate(const DuRequest &req)
     if (req.dstOffset + req.bytes > node::kPageBytes)
         panic("transfer crosses destination page boundary");
 
+    mesh::PacketLife life;
+    if (lifecycle && lifecycle->enabled()) {
+        life.id = lifecycle->nextId();
+        life.born = sim.now();
+    }
+
     // Host builds a descriptor and rings the doorbell over the I/O bus.
     cpu.compute(_params.doorbellCost);
     cpu.sync();
@@ -41,6 +48,8 @@ BaselineNic::submitDeliberate(const DuRequest &req)
     std::memcpy(pkt.data.data(), req.src, req.bytes);
     pkt.interruptRequest = req.interruptRequest;
     pkt.endOfMessage = req.endOfMessage;
+    pkt.life = life;
+    pkt.life.queued = sim.now(); // after any queue-full wait
 
     sendQueue.push_back(std::move(pkt));
     sendQueueDst.push_back(entry.dstNode);
@@ -80,6 +89,9 @@ BaselineNic::engineBody()
         mp.src = nodeId();
         mp.dst = dst;
         mp.wireBytes = wire;
+        mp.life = pkt.life;
+        if (mp.life.id)
+            mp.life.injected = sim.now();
         auto payload = std::make_shared<NicPayload>();
         payload->body = std::move(pkt);
         mp.payload = std::move(payload);
@@ -118,6 +130,10 @@ BaselineNic::receive(const mesh::Packet &pkt)
 
     sim.stats().counter(statPrefix + ".packets_in").inc();
     sim.stats().counter(statPrefix + ".bytes_in").inc(bytes);
+    if (pkt.life.id && lifecycle)
+        lifecycle->record(pkt.life.born, pkt.life.queued,
+                          pkt.life.injected, pkt.life.delivered, start,
+                          done);
 
     sim.schedule(done - sim.now(), [this, payload] {
         auto &mem = _node.mem();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "sim/trace_json.hh"
 
 namespace shrimp::nic
@@ -57,6 +58,66 @@ NicBase::relTrack()
     return _relTrack;
 }
 
+NicBase::RelChannel &
+NicBase::channelFor(NodeId dst)
+{
+    auto [it, inserted] = channels.try_emplace(dst);
+    RelChannel &ch = it->second;
+    if (inserted) {
+        // Bind the per-channel observability surface once; map
+        // entries are address-stable so the pointers stay valid.
+        auto &stats = _node.simulation().stats();
+        std::string prefix =
+            _node.name() + ".rel.dst" + std::to_string(dst) + ".";
+        ch.stOutstanding = &stats.scalar(prefix + "outstanding");
+        ch.stSrttUs = &stats.scalar(prefix + "srtt_us");
+        ch.stLastRtoUs = &stats.scalar(prefix + "last_rto_fire_us");
+        ch.stGaveUp = &stats.scalar(prefix + "gave_up");
+        ch.accRttUs = &stats.accumulator(prefix + "ack_rtt_us");
+        if (!rttHist)
+            rttHist = &stats.logHistogram(
+                _node.name() + ".rel.ack_rtt_us", 0.1, 1e5, 150);
+    }
+    return ch;
+}
+
+NicBase::ChannelView
+NicBase::channelView(NodeId dst) const
+{
+    auto it = channels.find(dst);
+    if (it == channels.end())
+        return ChannelView();
+    const RelChannel &ch = it->second;
+    ChannelView v;
+    v.outstanding = ch.unacked.size();
+    v.srtt = ch.srtt;
+    v.lastRtoFire = ch.lastRtoFire;
+    v.rtoStreak = ch.rtoStreak;
+    v.gaveUp = ch.gaveUp;
+    return v;
+}
+
+std::size_t
+NicBase::retransmitBacklog() const
+{
+    std::size_t total = 0;
+    for (const auto &kv : channels)
+        total += kv.second.unacked.size();
+    return total;
+}
+
+void
+NicBase::sampleRtt(RelChannel &ch, Tick rtt)
+{
+    // Groundwork for the ROADMAP adaptive-RTO item: per-destination
+    // round-trip samples plus an RFC6298-style smoothed estimate.
+    ch.srtt = ch.srtt ? (7 * ch.srtt + rtt) / 8 : rtt;
+    double us = toMicroseconds(rtt);
+    rttHist->sample(us);
+    ch.accRttUs->sample(us);
+    ch.stSrttUs->set(toMicroseconds(ch.srtt));
+}
+
 void
 NicBase::netSend(mesh::Packet pkt)
 {
@@ -65,7 +126,7 @@ NicBase::netSend(mesh::Packet pkt)
         return;
     }
 
-    RelChannel &ch = channels[pkt.dst];
+    RelChannel &ch = channelFor(pkt.dst);
     pkt.kind = mesh::PacketKind::Data;
     pkt.seq = ch.nextSeq++;
     pkt.checksum = mesh::packetChecksum(pkt);
@@ -75,6 +136,7 @@ NicBase::netSend(mesh::Packet pkt)
     // fault plane mutates the in-flight checksum, never this copy.
     ch.unacked.push_back(pkt);
     ch.sentAt.push_back(sim.now());
+    ch.stOutstanding->set(double(ch.unacked.size()));
     // Invariant: the timer is armed exactly while unacked is non-empty.
     if (ch.unacked.size() == 1) {
         if (ch.rtoNow == 0)
@@ -154,9 +216,15 @@ NicBase::handleAck(const mesh::Packet &pkt)
     if (it == channels.end())
         return;
     RelChannel &ch = it->second;
+    Tick now = _node.simulation().now();
 
     bool progress = false;
     while (!ch.unacked.empty() && ch.unacked.front().seq < pkt.seq) {
+        // Karn's rule: a retransmitted packet's ACK is ambiguous
+        // (original or copy?), so only first-transmission sequences
+        // contribute round-trip samples.
+        if (ch.unacked.front().seq > ch.retxMaxSeq)
+            sampleRtt(ch, now - ch.sentAt.front());
         ch.unacked.pop_front();
         ch.sentAt.pop_front();
         progress = true;
@@ -164,6 +232,7 @@ NicBase::handleAck(const mesh::Packet &pkt)
     if (progress) {
         ch.rtoNow = _rel.rtoBase;
         ch.rtoStreak = 0;
+        ch.stOutstanding->set(double(ch.unacked.size()));
     }
     ch.rto.cancel();
     if (!ch.unacked.empty())
@@ -179,12 +248,16 @@ NicBase::handleNack(const mesh::Packet &pkt)
     RelChannel &ch = it->second;
 
     // A NACK for seq acknowledges everything before it...
+    bool progress = false;
     while (!ch.unacked.empty() && ch.unacked.front().seq < pkt.seq) {
         ch.unacked.pop_front();
         ch.sentAt.pop_front();
         ch.rtoNow = _rel.rtoBase;
         ch.rtoStreak = 0;
+        progress = true;
     }
+    if (progress)
+        ch.stOutstanding->set(double(ch.unacked.size()));
     // ...and requests a go-back-N resend of everything from it on.
     if (!ch.unacked.empty())
         retransmit(ch, pkt.src);
@@ -199,6 +272,7 @@ NicBase::retransmit(RelChannel &ch, NodeId dst)
     auto &stats = sim.stats();
 
     Tick oldest = ch.sentAt.front();
+    ch.retxMaxSeq = std::max(ch.retxMaxSeq, ch.unacked.back().seq);
     for (std::size_t i = 0; i < ch.unacked.size(); ++i) {
         stats.counter("mesh.retransmits").inc();
         mesh::Packet copy = ch.unacked[i];
@@ -226,16 +300,21 @@ NicBase::armRto(RelChannel &ch, NodeId dst)
 void
 NicBase::rtoFire(NodeId dst)
 {
-    RelChannel &ch = channels[dst];
+    RelChannel &ch = channelFor(dst);
     if (ch.unacked.empty())
         return;
 
     auto &sim = _node.simulation();
     sim.stats().counter("mesh.rto_fires").inc();
-    if (++ch.rtoStreak > _rel.rtoGiveUp)
+    ch.lastRtoFire = sim.now();
+    ch.stLastRtoUs->set(toMicroseconds(sim.now()));
+    if (++ch.rtoStreak > _rel.rtoGiveUp) {
+        ch.gaveUp = true;
+        ch.stGaveUp->set(1.0);
         fatal("%s: %d retransmission timeouts to node %u without "
               "progress -- link permanently down?",
               _node.name().c_str(), ch.rtoStreak, dst);
+    }
     ch.rtoNow = std::min(ch.rtoNow * 2, _rel.rtoMax);
     retransmit(ch, dst);
 }

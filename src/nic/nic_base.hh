@@ -30,6 +30,14 @@
 #include "nic/page_tables.hh"
 #include "node/node.hh"
 
+namespace shrimp
+{
+class Accumulator;
+class Histogram;
+class LifecycleTracer;
+class Scalar;
+} // namespace shrimp
+
 namespace shrimp::nic
 {
 
@@ -120,6 +128,39 @@ class NicBase
 
     /** Override the reliability tunables (before traffic flows). */
     void setReliabilityParams(const ReliabilityParams &p) { _rel = p; }
+
+    /**
+     * Attach the cluster's packet-lifecycle tracer (may be disabled;
+     * nullptr detaches). The NIC stamps and records packets only
+     * while the tracer reports enabled().
+     */
+    void setLifecycle(LifecycleTracer *t) { lifecycle = t; }
+
+    // ------------------------------------------------------------------
+    // Reliability observability (ROADMAP: stall surfacing, adaptive
+    // RTO groundwork)
+    // ------------------------------------------------------------------
+
+    /**
+     * Read-only snapshot of one sender-side reliability channel, so
+     * upper layers (sockets/NX) can observe a stalled destination
+     * without reaching into protocol internals. Mirrored as
+     * "<node>.rel.dst<D>.*" scalars in the StatsRegistry.
+     */
+    struct ChannelView
+    {
+        std::uint64_t outstanding = 0; //!< unacked packets in flight
+        Tick srtt = 0;            //!< smoothed ACK round-trip, 0 = none
+        Tick lastRtoFire = kTickNever; //!< time of the last timeout
+        int rtoStreak = 0;        //!< consecutive fires, no progress
+        bool gaveUp = false;      //!< path declared dead
+    };
+
+    /** Channel state toward @p dst (all-zero if never used). */
+    ChannelView channelView(NodeId dst) const;
+
+    /** Total unacked packets across channels (sampler gauge). */
+    std::size_t retransmitBacklog() const;
 
     // ------------------------------------------------------------------
     // Mapping setup (driven by the VMMC system layer)
@@ -221,6 +262,9 @@ class NicBase
     DeliverHook deliverHook;
     NotifyHook notifyHook;
 
+    /** Cluster lifecycle tracer; nullptr or disabled = no stamping. */
+    LifecycleTracer *lifecycle = nullptr;
+
   private:
     /** Sender-side per-destination reliability state. */
     struct RelChannel
@@ -231,6 +275,17 @@ class NicBase
         EventHandle rto;                //!< pending timeout, if any
         Tick rtoNow = 0;                //!< current backoff value
         int rtoStreak = 0;              //!< consecutive fires, no progress
+
+        // Observability (stall surfacing + adaptive-RTO groundwork).
+        Tick srtt = 0;             //!< smoothed ACK round-trip
+        Tick lastRtoFire = kTickNever; //!< last timeout fire time
+        bool gaveUp = false;       //!< fatal give-up reached
+        std::uint64_t retxMaxSeq = 0; //!< highest seq ever resent
+        Scalar *stOutstanding = nullptr; //!< ".outstanding" gauge
+        Scalar *stSrttUs = nullptr;      //!< ".srtt_us" gauge
+        Scalar *stLastRtoUs = nullptr;   //!< ".last_rto_fire_us"
+        Scalar *stGaveUp = nullptr;      //!< ".gave_up" flag
+        Accumulator *accRttUs = nullptr; //!< ".ack_rtt_us" samples
     };
 
     /** Receiver-side per-source reliability state. */
@@ -242,6 +297,15 @@ class NicBase
 
     /** Mesh delivery entry point: filters the reliability protocol. */
     void linkReceive(const mesh::Packet &pkt);
+
+    /**
+     * The channel toward @p dst, created (and its observability
+     * gauges bound into the StatsRegistry) on first use.
+     */
+    RelChannel &channelFor(NodeId dst);
+
+    /** Record one ACK round-trip sample for @p ch (Karn-filtered). */
+    void sampleRtt(RelChannel &ch, Tick rtt);
 
     void handleAck(const mesh::Packet &pkt);
     void handleNack(const mesh::Packet &pkt);
@@ -259,6 +323,9 @@ class NicBase
     std::unordered_map<NodeId, RelChannel> channels;
     std::unordered_map<NodeId, RelReceiver> rxStreams;
     int _relTrack = -1;
+
+    /** Node-wide ACK round-trip histogram ("<node>.rel.ack_rtt_us"). */
+    Histogram *rttHist = nullptr;
 };
 
 } // namespace shrimp::nic

@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "mesh/packet.hh"
 #include "node/memory.hh"
 #include "sim/types.hh"
 
@@ -40,6 +41,15 @@ struct DuPacket
     std::vector<char> data;
     bool interruptRequest = false;  //!< sender's per-transfer bit
     bool endOfMessage = true;       //!< last packet of a library message
+
+    /**
+     * Lifecycle stamps (flight recorder): born/queued are filled on
+     * the send path and copied onto the mesh packet at injection.
+     * Kept in the payload rather than captured by the injection
+     * lambdas, which are already near the inline-callback capture
+     * budget.
+     */
+    mesh::PacketLife life;
 };
 
 /**
@@ -67,6 +77,9 @@ struct AuTrainPacket
      * fence without a protocol-level acknowledgement.
      */
     std::function<void()> applied;
+
+    /** Lifecycle stamps; see DuPacket::life. */
+    mesh::PacketLife life;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/lifecycle.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -75,6 +76,11 @@ ShrimpNic::submitDeliberate(const DuRequest &req)
     // protection bookkeeping. The span also covers any queue-full wait
     // below, so the trace shows true per-send initiation cost.
     trace_json::Span span(traceTrack(), "du_submit");
+    mesh::PacketLife life;
+    if (lifecycle && lifecycle->enabled()) {
+        life.id = lifecycle->nextId();
+        life.born = sim.now();
+    }
     cpu.compute(_params.udmaIssueCost);
     cpu.sync();
 
@@ -92,6 +98,8 @@ ShrimpNic::submitDeliberate(const DuRequest &req)
     std::memcpy(pkt.data.data(), req.src, req.bytes);
     pkt.interruptRequest = req.interruptRequest;
     pkt.endOfMessage = req.endOfMessage;
+    pkt.life = life;
+    pkt.life.queued = sim.now(); // after any queue-full wait
 
     duQueue.push_back(std::move(pkt));
     duQueueDst.push_back(entry.dstNode);
@@ -130,6 +138,8 @@ ShrimpNic::duEngineBody()
         Tick bus_time = transferTime(bytes, mp.memBusBytesPerSec);
         _node.bus().reserve(bus_time);
         _node.cpu().reserveKernel(bus_time);
+        sim.stats().counter(statPrefix + ".eisa_busy_ps")
+            .inc(dma_done - start);
         sim.delay(dma_done - sim.now());
 
         // Inject through the NI chip (shared with the AU FIFO drain;
@@ -156,6 +166,9 @@ ShrimpNic::duEngineBody()
             mp2.src = src;
             mp2.dst = dst;
             mp2.wireBytes = wire;
+            mp2.life = std::get<DuPacket>(payload->body).life;
+            if (mp2.life.id)
+                mp2.life.injected = sim.now();
             mp2.payload = payload;
             netSend(std::move(mp2));
         });
@@ -210,6 +223,10 @@ ShrimpNic::auStore(const void *src, std::uint32_t bytes)
         train.dstFrame = entry->dstFrame;
         train.combining = entry->combining;
         train.interruptRequest = entry->interruptRequest;
+        if (lifecycle && lifecycle->enabled()) {
+            train.life.id = lifecycle->nextId();
+            train.life.born = sim.now();
+        }
     }
 
     AuWrite w;
@@ -325,6 +342,8 @@ ShrimpNic::flushTrain(AuTrain &train)
     pkt.packetCount = train.packetCount;
     pkt.dataBytes = data_bytes;
     pkt.interruptRequest = train.interruptRequest;
+    pkt.life = train.life;
+    pkt.life.queued = sim.now(); // NI-visible ordering point
     ++auInFlight;
     pkt.applied = [this] {
         if (--auInFlight == 0)
@@ -346,6 +365,9 @@ ShrimpNic::flushTrain(AuTrain &train)
         mp.dst = dst;
         mp.wireBytes = wire;
         mp.hwPackets = hw;
+        mp.life = std::get<AuTrainPacket>(payload->body).life;
+        if (mp.life.id)
+            mp.life.injected = sim.now();
         mp.payload = payload;
         netSend(std::move(mp));
     });
@@ -409,6 +431,11 @@ ShrimpNic::receive(const mesh::Packet &pkt)
 
     sim.stats().counter(statPrefix + ".packets_in").inc(packets);
     sim.stats().counter(statPrefix + ".bytes_in").inc(data_bytes);
+    sim.stats().counter(statPrefix + ".eisa_busy_ps").inc(done - start);
+    if (pkt.life.id && lifecycle)
+        lifecycle->record(pkt.life.born, pkt.life.queued,
+                          pkt.life.injected, pkt.life.delivered, start,
+                          done);
 
     if (trace_json::enabled())
         trace_json::completeEvent(

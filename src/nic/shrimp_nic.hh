@@ -129,6 +129,9 @@ class ShrimpNic : public NicBase
         std::uint32_t lastEnd = ~0u;        //!< end offset of last store
         bool combining = false;
         bool interruptRequest = false;
+
+        /** Lifecycle stamps; born at the train's first snooped store. */
+        mesh::PacketLife life;
     };
 
     void duEngineBody();

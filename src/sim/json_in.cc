@@ -1,0 +1,302 @@
+#include "sim/json_in.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace shrimp
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &kv : object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+namespace
+{
+
+/** One parse over a text buffer; pos is a byte offset. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text(text), err(err)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != text.size())
+            return fail("trailing content after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (err)
+            *err = strfmt("JSON error at offset %zu: %s", pos, what);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail("bad literal");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        switch (text[pos]) {
+        case '{':
+            return parseObject(out);
+        case '[':
+            return parseArray(out);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':' after key");
+            ++pos;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos; // opening quote
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos + 1];
+                pos += 2;
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    pos += 4;
+                    // UTF-8 encode (the writer only emits control
+                    // chars this way, but handle the full BMP).
+                    if (cp < 0x80) {
+                        out += char(cp);
+                    } else if (cp < 0x800) {
+                        out += char(0xc0 | (cp >> 6));
+                        out += char(0x80 | (cp & 0x3f));
+                    } else {
+                        out += char(0xe0 | (cp >> 12));
+                        out += char(0x80 | ((cp >> 6) & 0x3f));
+                        out += char(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            eatDigits();
+        }
+        if (digits && pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '-' || text[pos] == '+'))
+                ++pos;
+            std::size_t exp_start = pos;
+            eatDigits();
+            if (pos == exp_start)
+                return fail("bad exponent");
+        }
+        if (!digits) {
+            pos = start;
+            return fail("expected a value");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+
+    const std::string &text;
+    std::string *err;
+    std::size_t pos = 0;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    out = JsonValue();
+    Parser p(text, err);
+    return p.parseDocument(out);
+}
+
+} // namespace shrimp

@@ -1,0 +1,73 @@
+#include "sim/lifecycle.hh"
+
+#include "sim/stats.hh"
+
+namespace shrimp
+{
+
+namespace
+{
+
+constexpr const char *kStageNames[] = {
+    "send_overhead", "ni_wait", "wire", "rx_fifo", "delivery", "total",
+};
+
+constexpr const char *kHistNames[] = {
+    "lifecycle.send_overhead_us", "lifecycle.ni_wait_us",
+    "lifecycle.wire_us",          "lifecycle.rx_fifo_us",
+    "lifecycle.delivery_us",      "lifecycle.total_us",
+};
+
+/**
+ * Log-bucket geometry: 6 decades (10 ns .. 10 ms in us units) at 64
+ * buckets per decade. The bucket ratio is 10^(1/64) ~= 1.037, so a
+ * percentile interpolated within one bucket is within ~1.8% of the
+ * exact value — tight enough that the per-stage p50s sum to the
+ * end-to-end p50 within the 5% the acceptance test demands.
+ */
+constexpr double kLoUs = 0.01;
+constexpr double kHiUs = 1e4;
+constexpr std::size_t kBuckets = 384;
+
+} // anonymous namespace
+
+const char *
+lifeStageName(LifeStage s)
+{
+    return kStageNames[std::size_t(s)];
+}
+
+const char *
+lifeStageHistName(LifeStage s)
+{
+    return kHistNames[std::size_t(s)];
+}
+
+void
+LifecycleTracer::enable(StatsRegistry &stats)
+{
+    _enabled = true;
+    for (std::size_t s = 0; s < std::size_t(LifeStage::kCount); ++s)
+        hist[s] = &stats.logHistogram(kHistNames[s], kLoUs, kHiUs,
+                                      kBuckets);
+}
+
+void
+LifecycleTracer::record(Tick born, Tick queued, Tick injected,
+                        Tick delivered, Tick rx_start, Tick rx_done)
+{
+    if (!_enabled)
+        return;
+    auto stage = [&](LifeStage s, Tick from, Tick to) {
+        hist[std::size_t(s)]->sample(
+            toMicroseconds(to >= from ? to - from : 0));
+    };
+    stage(LifeStage::SendOverhead, born, queued);
+    stage(LifeStage::NiWait, queued, injected);
+    stage(LifeStage::Wire, injected, delivered);
+    stage(LifeStage::RxFifo, delivered, rx_start);
+    stage(LifeStage::Delivery, rx_start, rx_done);
+    stage(LifeStage::Total, born, rx_done);
+}
+
+} // namespace shrimp

@@ -69,6 +69,23 @@ RunReport::writeJson(std::ostream &os, bool pretty) const
         w.endObject();
     }
 
+    if (latency.enabled) {
+        w.beginObject("latency_breakdown");
+        w.beginArray("stages");
+        for (const auto &s : latency.stages) {
+            w.beginObject();
+            w.field("stage", s.stage);
+            w.field("count", s.count);
+            w.field("mean_us", s.meanUs);
+            w.field("p50_us", s.p50Us);
+            w.field("p95_us", s.p95Us);
+            w.field("p99_us", s.p99Us);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
     w.beginObject("params");
     for (const auto &kv : params)
         w.field(kv.first, kv.second);

@@ -32,8 +32,15 @@ namespace shrimp
 
 struct RunReport
 {
-    /** Bump when a field changes meaning or layout. */
-    static constexpr int kSchemaVersion = 2;
+    /**
+     * Bump when a field changes meaning or layout.
+     *
+     * 3: histograms gained "p99" and "scale" (log-bucket mode), the
+     *    stats block gained the "scalars" sub-object, and runs with
+     *    packet lifecycle tracing enabled carry a
+     *    "latency_breakdown" block (see sim/lifecycle.hh).
+     */
+    static constexpr int kSchemaVersion = 3;
 
     std::string app;
     int nprocs = 0;
@@ -79,6 +86,27 @@ struct RunReport
         std::uint64_t nacks = 0;        //!< NACK control packets sent
     };
     Faults faults;
+
+    /**
+     * Per-stage latency attribution of every traced packet
+     * (sim/lifecycle.hh). Serialized only when lifecycle tracing was
+     * on; the stage list ends with "total" (end-to-end).
+     */
+    struct StageLatency
+    {
+        std::string stage;
+        std::uint64_t count = 0;
+        double meanUs = 0;
+        double p50Us = 0;
+        double p95Us = 0;
+        double p99Us = 0;
+    };
+    struct LatencyBreakdown
+    {
+        bool enabled = false;
+        std::vector<StageLatency> stages;
+    };
+    LatencyBreakdown latency;
 
     /** Workload knobs (sizes, protocol, seed, CLI what-ifs). */
     std::map<std::string, std::string> params;

@@ -1,11 +1,39 @@
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <iomanip>
 
 #include "sim/json.hh"
 
 namespace shrimp
 {
+
+void
+Histogram::configureLog(double lo, double hi, std::size_t buckets)
+{
+    _log = true;
+    _lo = lo > 0.0 ? lo : 1e-12;
+    _hi = hi > _lo ? hi : _lo * 2.0;
+    _buckets.assign(buckets ? buckets : 1, 0);
+    _invLogWidth = double(_buckets.size()) / std::log(_hi / _lo);
+    reset();
+}
+
+std::size_t
+Histogram::logIndex(double v) const
+{
+    double x = std::log(v / _lo) * _invLogWidth;
+    return x > 0.0 ? std::size_t(x) : 0;
+}
+
+double
+Histogram::bucketLowEdge(std::size_t i) const
+{
+    if (!_log)
+        return _lo + double(i) * bucketWidth();
+    return _lo *
+           std::pow(_hi / _lo, double(i) / double(_buckets.size()));
+}
 
 double
 Histogram::percentile(double p) const
@@ -26,6 +54,10 @@ Histogram::percentile(double p) const
         double next = cum + double(_buckets[i]);
         if (next >= target && _buckets[i] > 0) {
             double frac = (target - cum) / double(_buckets[i]);
+            if (_log)
+                return _lo * std::pow(_hi / _lo,
+                                      (double(i) + frac) /
+                                          double(_buckets.size()));
             return _lo + (double(i) + frac) * bucketWidth();
         }
         cum = next;
@@ -55,6 +87,8 @@ StatsRegistry::reset()
         kv.second.reset();
     for (auto &kv : histograms)
         kv.second.reset();
+    for (auto &kv : scalars)
+        kv.second.reset();
 }
 
 void
@@ -76,6 +110,8 @@ StatsRegistry::dump(std::ostream &os) const
            << " max=" << h.max() << " under=" << h.underflow()
            << " over=" << h.overflow() << "\n";
     }
+    for (const auto &kv : scalars)
+        os << kv.first << " " << kv.second.value() << "\n";
 }
 
 void
@@ -109,8 +145,10 @@ StatsRegistry::writeJson(JsonWriter &w) const
         w.field("max", h.max());
         w.field("p50", h.percentile(50));
         w.field("p95", h.percentile(95));
+        w.field("p99", h.percentile(99));
         w.field("lo", h.lo());
         w.field("hi", h.hi());
+        w.field("scale", h.logScale() ? "log" : "linear");
         w.field("underflow", h.underflow());
         w.field("overflow", h.overflow());
         w.beginArray("buckets");
@@ -119,6 +157,11 @@ StatsRegistry::writeJson(JsonWriter &w) const
         w.endArray();
         w.endObject();
     }
+    w.endObject();
+
+    w.beginObject("scalars");
+    for (const auto &kv : scalars)
+        w.field(kv.first, kv.second.value());
     w.endObject();
 }
 

@@ -74,10 +74,14 @@ class Accumulator
 /**
  * Fixed-bucket histogram over [lo, hi) with underflow/overflow bins.
  *
- * Buckets are linear; reconfiguring clears the samples. The summary
+ * Buckets are linear by default; configureLog() switches to
+ * geometrically spaced buckets, which keep relative resolution
+ * constant across wide ranges (a 3.71 us AU word and a 5 ms capped
+ * RTO backoff fit the same histogram without one of them landing in
+ * the overflow bin). Reconfiguring clears the samples. The summary
  * accessors (mean/min/max) come from exact running sums, while
  * percentile() interpolates within its bucket, so its resolution is
- * one bucket width.
+ * one bucket width (linear) or one bucket ratio (log).
  */
 class Histogram
 {
@@ -88,11 +92,19 @@ class Histogram
     void
     configure(double lo, double hi, std::size_t buckets)
     {
+        _log = false;
         _lo = lo;
         _hi = hi > lo ? hi : lo + 1.0;
         _buckets.assign(buckets ? buckets : 1, 0);
+        _invLogWidth = 0.0;
         reset();
     }
+
+    /**
+     * Switch to geometric (log-scale) buckets over [lo, hi).
+     * Requires lo > 0; values below lo count as underflow.
+     */
+    void configureLog(double lo, double hi, std::size_t buckets);
 
     /** Add one sample. */
     void
@@ -104,7 +116,8 @@ class Histogram
         } else if (v >= _hi) {
             ++_overflow;
         } else {
-            auto i = std::size_t((v - _lo) / bucketWidth());
+            std::size_t i = _log ? logIndex(v)
+                                 : std::size_t((v - _lo) / bucketWidth());
             if (i >= _buckets.size()) // guard fp edge at hi
                 i = _buckets.size() - 1;
             ++_buckets[i];
@@ -124,10 +137,15 @@ class Histogram
     std::uint64_t bucket(std::size_t i) const { return _buckets.at(i); }
     std::uint64_t underflow() const { return _underflow; }
     std::uint64_t overflow() const { return _overflow; }
+    bool logScale() const { return _log; }
+
+    /** Lower edge of bucket @p i (either scale). */
+    double bucketLowEdge(std::size_t i) const;
 
     /**
-     * Value at percentile @p p (0..100), linearly interpolated within
-     * its bucket. Underflow samples resolve to lo, overflow to hi.
+     * Value at percentile @p p (0..100), interpolated within its
+     * bucket (linearly or geometrically, matching the bucket scale).
+     * Underflow samples resolve to lo, overflow to hi.
      */
     double percentile(double p) const;
 
@@ -142,12 +160,35 @@ class Histogram
     }
 
   private:
+    /** Bucket index of @p v in log mode; requires lo <= v < hi. */
+    std::size_t logIndex(double v) const;
+
     double _lo = 0.0;
     double _hi = 100.0;
+    bool _log = false;
+    double _invLogWidth = 0.0; //!< buckets / ln(hi/lo), log mode only
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
     Accumulator summary;
+};
+
+/**
+ * A last-writer-wins gauge: instrumentation sites publish the current
+ * value of some piece of state (outstanding retransmit packets, the
+ * time of the last RTO fire) and observers read it at any later point
+ * — typically end of run via the report, or mid-run by a layer that
+ * wants to react to it (sockets/NX watching reliability stalls).
+ */
+class Scalar
+{
+  public:
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
 };
 
 /**
@@ -189,12 +230,52 @@ class StatsRegistry
         return it->second;
     }
 
+    /**
+     * Get the histogram @p name, log-configured on first use.
+     * An existing histogram's configuration is left untouched.
+     */
+    Histogram &
+    logHistogram(const std::string &name, double lo, double hi,
+                 std::size_t buckets)
+    {
+        auto [it, inserted] = histograms.try_emplace(name);
+        if (inserted)
+            it->second.configureLog(lo, hi, buckets);
+        return it->second;
+    }
+
+    /** Get (or create) the scalar gauge called @p name. */
+    Scalar &scalar(const std::string &name) { return scalars[name]; }
+
     /** @return the counter value, or 0 if never touched. */
     std::uint64_t
     counterValue(const std::string &name) const
     {
         auto it = counters.find(name);
         return it == counters.end() ? 0 : it->second.value();
+    }
+
+    /** @return the scalar value, or 0 if never touched. */
+    double
+    scalarValue(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0.0 : it->second.value();
+    }
+
+    /** @return the histogram called @p name, or nullptr. */
+    const Histogram *
+    findHistogram(const std::string &name) const
+    {
+        auto it = histograms.find(name);
+        return it == histograms.end() ? nullptr : &it->second;
+    }
+
+    /** All counters, sorted by name (tests, golden comparisons). */
+    const std::map<std::string, Counter> &
+    allCounters() const
+    {
+        return counters;
     }
 
     /** Sum of all counters whose name begins with @p prefix. */
@@ -207,9 +288,9 @@ class StatsRegistry
     void dump(std::ostream &os) const;
 
     /**
-     * Serialize into the writer's currently open object as three
-     * keyed sub-objects — "counters", "accumulators", "histograms" —
-     * each sorted by name (stable output).
+     * Serialize into the writer's currently open object as four
+     * keyed sub-objects — "counters", "accumulators", "histograms",
+     * "scalars" — each sorted by name (stable output).
      */
     void writeJson(JsonWriter &w) const;
 
@@ -217,6 +298,7 @@ class StatsRegistry
     std::map<std::string, Counter> counters;
     std::map<std::string, Accumulator> accumulators;
     std::map<std::string, Histogram> histograms;
+    std::map<std::string, Scalar> scalars;
 };
 
 } // namespace shrimp

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The offline-analysis foundations: the JSON parser (sim/json_in.hh)
+ * and the schema validators shrimp_analyze --validate is built on.
+ * The writers' output must round-trip through the parser and pass
+ * validation; targeted mutations must be rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/json_in.hh"
+#include "sim/metrics.hh"
+#include "sim/report_schema.hh"
+#include "sim/run_report.hh"
+#include "sim/stats.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+/** A RunReport with every optional block populated. */
+RunReport
+sampleReport()
+{
+    RunReport rep;
+    rep.app = "unit";
+    rep.nprocs = 2;
+    rep.elapsed = microseconds(1234);
+    rep.messages = 7;
+    rep.notifications = 1;
+    rep.checksum = 42;
+    rep.params["keys"] = "1024";
+    rep.perProcess.resize(2);
+
+    rep.stats.counter("c").inc(3);
+    rep.stats.accumulator("a").sample(1.5);
+    rep.stats.histogram("lin", 0.0, 10.0, 10).sample(2.0);
+    rep.stats.logHistogram("log", 0.01, 100.0, 32).sample(5.0);
+    rep.stats.scalar("s").set(9.0);
+
+    rep.latency.enabled = true;
+    for (const char *stage :
+         {"send_overhead", "ni_wait", "wire", "rx_fifo", "delivery",
+          "total"}) {
+        RunReport::StageLatency sl;
+        sl.stage = stage;
+        sl.count = 7;
+        sl.meanUs = 1.0;
+        sl.p50Us = 1.0;
+        sl.p95Us = 2.0;
+        sl.p99Us = 3.0;
+        rep.latency.stages.push_back(sl);
+    }
+    return rep;
+}
+
+/** Parse + validate one report document; returns the error if any. */
+testing::AssertionResult
+reportValidates(const std::string &json)
+{
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(json, doc, &err))
+        return testing::AssertionFailure() << "parse: " << err;
+    if (!validateReport(doc, &err))
+        return testing::AssertionFailure() << err;
+    return testing::AssertionSuccess();
+}
+
+/** Replace the first occurrence of @p from with @p to. */
+std::string
+replaced(std::string text, const std::string &from,
+         const std::string &to)
+{
+    auto pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    if (pos != std::string::npos)
+        text.replace(pos, from.size(), to);
+    return text;
+}
+
+/** A two-column, three-row metrics series. */
+MetricsSeries
+sampleSeries()
+{
+    MetricsSeries s;
+    s.names = {"gauge.a", "gauge.b"};
+    s.times = {microseconds(10), microseconds(20), microseconds(30)};
+    s.columns = {{1.0, 2.0, 3.0}, {0.5, 0.25, 0.125}};
+    return s;
+}
+
+testing::AssertionResult
+metricsValidate(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string err;
+    if (!validateMetricsJsonl(in, &err))
+        return testing::AssertionFailure() << err;
+    return testing::AssertionSuccess();
+}
+
+} // anonymous namespace
+
+// ----------------------------------------------------------------------
+// The JSON parser
+// ----------------------------------------------------------------------
+
+TEST(JsonIn, ParsesScalarsContainersAndEscapes)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(R"({"a": [1, -2.5e3, true, null],
+                              "b": {"nested": "x\tyA"}})",
+                          v));
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->array.size(), 4u);
+    EXPECT_EQ(a->array[0].number, 1.0);
+    EXPECT_EQ(a->array[1].number, -2500.0);
+    EXPECT_TRUE(a->array[2].boolean);
+    EXPECT_TRUE(a->array[3].isNull());
+    const JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->find("nested")->str, "x\tyA");
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_EQ(v.numberOr("absent", -1.0), -1.0);
+}
+
+TEST(JsonIn, RejectsMalformedDocuments)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\": }", v, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseJson("[1, 2", v, &err));
+    EXPECT_FALSE(parseJson("", v, &err));
+    EXPECT_FALSE(parseJson("{} trailing", v, &err));
+    EXPECT_FALSE(parseJson("'single'", v, &err));
+}
+
+TEST(JsonIn, RoundTripsTheReportWriter)
+{
+    std::string pretty = sampleReport().toJson(true);
+    std::string compact = sampleReport().toJson(false);
+    JsonValue a, b;
+    std::string err;
+    ASSERT_TRUE(parseJson(pretty, a, &err)) << err;
+    ASSERT_TRUE(parseJson(compact, b, &err)) << err;
+    EXPECT_EQ(a.numberOr("schema_version", 0),
+              double(RunReport::kSchemaVersion));
+    EXPECT_EQ(b.find("app")->str, "unit");
+}
+
+// ----------------------------------------------------------------------
+// Report validation
+// ----------------------------------------------------------------------
+
+TEST(ReportSchema, AcceptsTheWritersOutput)
+{
+    EXPECT_TRUE(reportValidates(sampleReport().toJson(true)));
+    EXPECT_TRUE(reportValidates(sampleReport().toJson(false)));
+
+    // Reports without the optional blocks validate too.
+    RunReport plain;
+    plain.app = "plain";
+    EXPECT_TRUE(reportValidates(plain.toJson(true)));
+}
+
+TEST(ReportSchema, RejectsSchemaVersionMismatch)
+{
+    std::string good = sampleReport().toJson(false);
+    EXPECT_FALSE(reportValidates(
+        replaced(good, "\"schema_version\":3", "\"schema_version\":2")));
+    EXPECT_FALSE(reportValidates(
+        replaced(good, "\"schema_version\":3",
+                 "\"schema_version\":\"3\"")));
+}
+
+TEST(ReportSchema, RejectsMissingOrMistypedFields)
+{
+    std::string good = sampleReport().toJson(false);
+    EXPECT_FALSE(
+        reportValidates(replaced(good, "\"messages\"", "\"messagez\"")));
+    EXPECT_FALSE(reportValidates(
+        replaced(good, "\"app\":\"unit\"", "\"app\":17")));
+    EXPECT_FALSE(reportValidates(
+        replaced(good, "\"scale\":\"log\"", "\"scale\":\"cubist\"")));
+    EXPECT_FALSE(reportValidates(
+        replaced(good, "\"stage\":\"total\"", "\"stage\":\"tot\"")));
+    EXPECT_FALSE(reportValidates("[1, 2, 3]"));
+}
+
+// ----------------------------------------------------------------------
+// Metrics validation
+// ----------------------------------------------------------------------
+
+TEST(MetricsSchema, AcceptsTheWriterAndConcatenations)
+{
+    std::ostringstream ss;
+    sampleSeries().writeJsonl(ss, "unit", microseconds(10));
+    EXPECT_TRUE(metricsValidate(ss.str()));
+    // Two series back to back (the bench-sweep append case).
+    EXPECT_TRUE(metricsValidate(ss.str() + ss.str()));
+    // An empty stream is flagged: a metrics file must hold data.
+    EXPECT_FALSE(metricsValidate(""));
+}
+
+TEST(MetricsSchema, RejectsMutations)
+{
+    std::ostringstream ss;
+    sampleSeries().writeJsonl(ss, "unit", microseconds(10));
+    std::string good = ss.str();
+
+    EXPECT_FALSE(metricsValidate(
+        replaced(good, "\"metrics_schema\":1", "\"metrics_schema\":2")));
+    // A row before any header.
+    EXPECT_FALSE(metricsValidate("{\"t_us\":1,\"v\":[1]}\n"));
+    // Ragged row: drop one value from the last line.
+    EXPECT_FALSE(metricsValidate(
+        replaced(good, "[3,0.125]", "[3]")));
+    // Time going backwards.
+    EXPECT_FALSE(metricsValidate(
+        replaced(good, "\"t_us\":30", "\"t_us\":5")));
+    // Sample-count mismatch vs the header's promise.
+    EXPECT_FALSE(metricsValidate(
+        replaced(good, "\"samples\":3", "\"samples\":2")));
+}
+
+TEST(MetricsSchema, CsvWriterEmitsHeaderAndRows)
+{
+    std::ostringstream ss;
+    sampleSeries().writeCsv(ss);
+    std::string csv = ss.str();
+    EXPECT_EQ(csv.rfind("t_us,gauge.a,gauge.b\n", 0), 0u);
+    int lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4); // header + 3 rows
+}

@@ -393,7 +393,7 @@ TEST(RunReport, JsonIsWellFormedAndCarriesTheSchema)
     std::string json = rep.toJson();
 
     EXPECT_TRUE(JsonChecker(json).document());
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"app\": \"Radix-SVM\""), std::string::npos);
     EXPECT_NE(json.find("\"time_breakdown_ps\""), std::string::npos);
     EXPECT_NE(json.find("\"per_process\""), std::string::npos);

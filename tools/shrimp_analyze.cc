@@ -1,0 +1,327 @@
+/**
+ * @file
+ * shrimp_analyze — offline analysis of the flight-recorder outputs.
+ *
+ * Reads RunReport documents (pretty files from `shrimp_run
+ * --stats-json`, or compact JSONL streams from SHRIMP_REPORT_JSONL)
+ * and metrics time series (SHRIMP_METRICS / `shrimp_run --metrics`)
+ * and prints:
+ *
+ *   - a per-stage latency attribution table (count, mean, p50, p95,
+ *     p99) for runs with lifecycle tracing, including the pipeline
+ *     consistency check "sum of stage p50s vs end-to-end p50";
+ *   - an occupancy/utilization summary per metrics series (mean and
+ *     peak of every sampled gauge);
+ *   - run identity (app, processors, elapsed, messages).
+ *
+ * With --validate it only checks the documents against the published
+ * schemas (RunReport schema_version 3, metrics_schema 1) and exits
+ * nonzero on the first violation — CI runs this over every artifact.
+ *
+ * Examples:
+ *   shrimp_analyze report.json
+ *   shrimp_analyze metrics.jsonl
+ *   shrimp_analyze --validate report.json metrics.jsonl
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json_in.hh"
+#include "sim/report_schema.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: shrimp_analyze [--validate] FILE...\n"
+                 "\n"
+                 "FILEs may be RunReport JSON documents, RunReport\n"
+                 "JSONL streams, or metrics JSONL time series; the\n"
+                 "format is sniffed per file.\n");
+    std::exit(2);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Split into nonempty lines (the JSONL framing). */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        if (nl > pos)
+            lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+// ----------------------------------------------------------------------
+// Report analysis
+// ----------------------------------------------------------------------
+
+void
+printLatencyTable(const JsonValue &doc)
+{
+    const JsonValue *lb = doc.find("latency_breakdown");
+    if (!lb || !lb->isObject()) {
+        std::printf("  (no latency_breakdown -- run with --lifecycle "
+                    "/ SHRIMP_LIFECYCLE=1)\n");
+        return;
+    }
+    const JsonValue *stages = lb->find("stages");
+    if (!stages || !stages->isArray())
+        return;
+
+    std::printf("  %-15s %8s %9s %9s %9s %9s\n", "stage", "count",
+                "mean_us", "p50_us", "p95_us", "p99_us");
+    double sum_p50 = 0, total_p50 = 0;
+    for (const auto &s : stages->array) {
+        const JsonValue *name = s.find("stage");
+        if (!name || !name->isString())
+            continue;
+        double p50 = s.numberOr("p50_us", 0);
+        if (name->str == "total")
+            total_p50 = p50;
+        else
+            sum_p50 += p50;
+        std::printf("  %-15s %8.0f %9.3f %9.3f %9.3f %9.3f\n",
+                    name->str.c_str(), s.numberOr("count", 0),
+                    s.numberOr("mean_us", 0), p50,
+                    s.numberOr("p95_us", 0), s.numberOr("p99_us", 0));
+    }
+    if (total_p50 > 0) {
+        double pct = 100.0 * (sum_p50 - total_p50) / total_p50;
+        std::printf("  stage p50 sum: %.3f us vs end-to-end p50 %.3f "
+                    "us (%+.1f%%)\n",
+                    sum_p50, total_p50, pct);
+    }
+}
+
+void
+printReport(const JsonValue &doc)
+{
+    const JsonValue *app = doc.find("app");
+    std::printf("run: %s  procs=%.0f  elapsed=%.3f ms  "
+                "messages=%.0f\n",
+                app && app->isString() ? app->str.c_str() : "?",
+                doc.numberOr("nprocs", 0),
+                doc.numberOr("elapsed_ms", 0),
+                doc.numberOr("messages", 0));
+    printLatencyTable(doc);
+}
+
+// ----------------------------------------------------------------------
+// Metrics analysis
+// ----------------------------------------------------------------------
+
+/** Occupancy summary of one or more concatenated metrics series. */
+bool
+printMetricsSummary(const std::vector<std::string> &lines,
+                    const std::string &path)
+{
+    std::vector<std::string> cols;
+    std::vector<double> mean, peak;
+    std::size_t rows = 0;
+    std::string app;
+    double interval = 0;
+
+    auto flush = [&] {
+        if (cols.empty())
+            return;
+        std::printf("series: %s  interval=%g us  samples=%zu\n",
+                    app.c_str(), interval, rows);
+        std::printf("  %-28s %12s %12s\n", "gauge", "mean", "peak");
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            std::printf("  %-28s %12.4f %12.4f\n", cols[i].c_str(),
+                        rows ? mean[i] / double(rows) : 0.0, peak[i]);
+        cols.clear();
+        mean.clear();
+        peak.clear();
+        rows = 0;
+    };
+
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        JsonValue v;
+        std::string err;
+        if (!parseJson(lines[n], v, &err)) {
+            std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), n + 1,
+                         err.c_str());
+            return false;
+        }
+        if (v.find("metrics_schema")) {
+            flush();
+            const JsonValue *a = v.find("app");
+            app = a && a->isString() ? a->str : "?";
+            interval = v.numberOr("interval_us", 0);
+            const JsonValue *c = v.find("columns");
+            if (c && c->isArray())
+                for (const auto &name : c->array)
+                    cols.push_back(name.str);
+            mean.assign(cols.size(), 0.0);
+            peak.assign(cols.size(), 0.0);
+            continue;
+        }
+        const JsonValue *row = v.find("v");
+        if (!row || !row->isArray() || row->array.size() != cols.size())
+            continue;
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            double x = row->array[i].number;
+            mean[i] += x;
+            if (rows == 0 || x > peak[i])
+                peak[i] = x;
+        }
+        ++rows;
+    }
+    flush();
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// Per-file driver
+// ----------------------------------------------------------------------
+
+/** Process one file; returns false on any parse/validation failure. */
+bool
+processFile(const std::string &path, bool validate_only)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+        return false;
+    }
+
+    // A whole-file parse catches pretty (multi-line) report documents;
+    // anything else is treated as JSONL.
+    JsonValue whole;
+    if (parseJson(text, whole)) {
+        std::string err;
+        if (whole.find("metrics_schema")) {
+            std::istringstream in(text);
+            if (!validateMetricsJsonl(in, &err)) {
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             err.c_str());
+                return false;
+            }
+            if (validate_only)
+                std::printf("%s: OK (metrics)\n", path.c_str());
+            else
+                return printMetricsSummary(splitLines(text), path);
+            return true;
+        }
+        if (!validateReport(whole, &err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+            return false;
+        }
+        if (validate_only)
+            std::printf("%s: OK (report)\n", path.c_str());
+        else
+            printReport(whole);
+        return true;
+    }
+
+    std::vector<std::string> lines = splitLines(text);
+    if (lines.empty()) {
+        std::fprintf(stderr, "%s: empty file\n", path.c_str());
+        return false;
+    }
+
+    JsonValue first;
+    std::string err;
+    if (!parseJson(lines[0], first, &err)) {
+        std::fprintf(stderr, "%s:1: %s\n", path.c_str(), err.c_str());
+        return false;
+    }
+
+    if (first.find("metrics_schema")) {
+        std::istringstream in(text);
+        if (!validateMetricsJsonl(in, &err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+            return false;
+        }
+        if (validate_only) {
+            std::printf("%s: OK (metrics)\n", path.c_str());
+            return true;
+        }
+        return printMetricsSummary(lines, path);
+    }
+
+    // A stream of compact one-line reports.
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        JsonValue doc;
+        if (!parseJson(lines[n], doc, &err)) {
+            std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), n + 1,
+                         err.c_str());
+            return false;
+        }
+        if (!validateReport(doc, &err)) {
+            std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), n + 1,
+                         err.c_str());
+            return false;
+        }
+        if (!validate_only) {
+            printReport(doc);
+            if (n + 1 < lines.size())
+                std::printf("\n");
+        }
+    }
+    if (validate_only)
+        std::printf("%s: OK (%zu reports)\n", path.c_str(),
+                    lines.size());
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool validate_only = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--validate") == 0)
+            validate_only = true;
+        else if (std::strcmp(argv[i], "--help") == 0 ||
+                 std::strcmp(argv[i], "-h") == 0)
+            usage();
+        else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage();
+        } else
+            files.push_back(argv[i]);
+    }
+    if (files.empty())
+        usage();
+
+    bool ok = true;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (i && !validate_only)
+            std::printf("\n");
+        ok = processFile(files[i], validate_only) && ok;
+    }
+    return ok ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -84,6 +85,11 @@ usage(const char *argv0)
         "observability:\n"
         "  --stats-json FILE  write the JSON run report to FILE\n"
         "  --trace FILE       record a Chrome trace_event timeline\n"
+        "  --metrics FILE     record the flight-recorder time series\n"
+        "                     (.csv extension selects CSV, else JSONL)\n"
+        "  --metrics-interval-us N   sampling cadence (default 10)\n"
+        "  --lifecycle        per-packet latency attribution; adds the\n"
+        "                     latency_breakdown block to the report\n"
         "  --list-apps        print the app names and exit\n"
         "",
         argv0);
@@ -104,6 +110,7 @@ struct Options
     std::uint64_t seed = 0;
     std::string statsJson; //!< --stats-json destination, empty = off
     std::string traceFile; //!< --trace destination, empty = off
+    std::string metricsFile; //!< --metrics destination, empty = off
     core::ClusterConfig cluster;
 
     /** The single command-line entry point. Exits on bad input. */
@@ -221,6 +228,13 @@ Options::parse(int argc, char **argv)
             o.statsJson = need(i);
         } else if (a == "--trace") {
             o.traceFile = need(i);
+        } else if (a == "--metrics") {
+            o.metricsFile = need(i);
+        } else if (a == "--metrics-interval-us") {
+            o.cluster.metricsInterval =
+                microseconds(std::atof(need(i)));
+        } else if (a == "--lifecycle") {
+            o.cluster.lifecycleTracing = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          a.c_str());
@@ -296,6 +310,10 @@ main(int argc, char **argv)
     if ((o.app == "dfs" || o.app == "render") && !o.auGiven)
         o.useAu = false;
 
+    // --metrics alone implies the default sampling cadence.
+    if (!o.metricsFile.empty() && o.cluster.metricsInterval == 0)
+        o.cluster.metricsInterval = microseconds(10);
+
     if (!o.traceFile.empty())
         trace_json::open(o.traceFile);
 
@@ -347,6 +365,25 @@ main(int argc, char **argv)
         RunReport rep = makeReport(r);
         rep.writeFile(o.statsJson);
         std::printf("report:         %s\n", o.statsJson.c_str());
+    }
+
+    if (!o.metricsFile.empty()) {
+        std::ofstream os(o.metricsFile,
+                         std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         o.metricsFile.c_str());
+            return 1;
+        }
+        bool csv = o.metricsFile.size() >= 4 &&
+                   o.metricsFile.compare(o.metricsFile.size() - 4, 4,
+                                         ".csv") == 0;
+        if (csv)
+            r.metrics.writeCsv(os);
+        else
+            r.metrics.writeJsonl(os, r.name, r.metricsInterval);
+        std::printf("metrics:        %s (%zu samples)\n",
+                    o.metricsFile.c_str(), r.metrics.sampleCount());
     }
     return 0;
 }

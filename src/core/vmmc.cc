@@ -8,7 +8,19 @@ namespace shrimp::core
 {
 
 Endpoint::Endpoint(Cluster &cluster, node::Node &n, nic::NicBase &nic)
-    : _cluster(cluster), _node(n), _nic(nic)
+    : _cluster(cluster), _node(n), _nic(nic),
+      stExports(n.simulation().stats(), n.name() + ".vmmc.exports"),
+      stUnexports(n.simulation().stats(),
+                  n.name() + ".vmmc.unexports"),
+      stUnimports(n.simulation().stats(),
+                  n.name() + ".vmmc.unimports"),
+      stMessages(n.simulation().stats(), n.name() + ".vmmc.messages"),
+      stMessageBytes(n.simulation().stats(),
+                     n.name() + ".vmmc.message_bytes"),
+      stAuBindings(n.simulation().stats(),
+                   n.name() + ".vmmc.au_bindings"),
+      stNotifications(n.simulation().stats(),
+                      n.name() + ".vmmc.notifications")
 {
     _nic.setDeliverHook([this](const nic::Delivery &d) { onDeliver(d); });
 }
@@ -40,8 +52,7 @@ Endpoint::exportBuffer(void *base, std::size_t bytes,
 
     exportsByFrame[rec->baseFrame] = rec.get();
     exports.push_back(std::move(rec));
-    _node.simulation().stats()
-        .counter(_node.name() + ".vmmc.exports").inc();
+    stExports.inc();
     return ExportId(exports.size() - 1);
 }
 
@@ -138,8 +149,7 @@ Endpoint::unexport(ExportId id)
     _node.cpu().compute(Tick(rec.pages) * _node.params().pagePinCost);
     if (_node.simulation().current())
         _node.cpu().sync();
-    _node.simulation().stats()
-        .counter(_node.name() + ".vmmc.unexports").inc();
+    stUnexports.inc();
 }
 
 void
@@ -160,8 +170,7 @@ Endpoint::unimport(ProxyId p)
                         Tick(imp.proxyPages.size()) * microseconds(1.0));
     if (_node.simulation().current())
         _node.cpu().sync();
-    _node.simulation().stats()
-        .counter(_node.name() + ".vmmc.unimports").inc();
+    stUnimports.inc();
 }
 
 void
@@ -179,9 +188,8 @@ Endpoint::send(ProxyId proxy, const void *src, std::size_t bytes,
     if (bytes == 0)
         return;
 
-    auto &stats = _node.simulation().stats();
-    stats.counter(_node.name() + ".vmmc.messages").inc();
-    stats.counter(_node.name() + ".vmmc.message_bytes").inc(bytes);
+    stMessages.inc();
+    stMessageBytes.inc(bytes);
 
     // Table 2 what-if: a kernel-mediated send traps before the
     // transfer is handed to the (same) hardware.
@@ -250,8 +258,7 @@ Endpoint::bindAu(void *local_base, ProxyId proxy, std::size_t dst_offset,
     _node.cpu().compute(_node.params().syscallCost +
                         Tick(pages) * microseconds(1.0));
     _node.cpu().sync();
-    _node.simulation().stats()
-        .counter(_node.name() + ".vmmc.au_bindings").inc(pages);
+    stAuBindings.inc(pages);
 }
 
 void
@@ -305,8 +312,7 @@ Endpoint::onDeliver(const nic::Delivery &d)
     if (!rec->notifications || !rec->handler)
         return;
 
-    auto &stats = _node.simulation().stats();
-    stats.counter(_node.name() + ".vmmc.notifications").inc();
+    stNotifications.inc();
 
     std::uint32_t buf_offset =
         std::uint32_t((d.frame - rec->baseFrame) * node::kPageBytes +

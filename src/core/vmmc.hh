@@ -284,6 +284,15 @@ class Endpoint
     node::Node &_node;
     nic::NicBase &_nic;
 
+    // Interned per-endpoint statistics (lazy; see sim/stats.hh).
+    CounterHandle stExports;
+    CounterHandle stUnexports;
+    CounterHandle stUnimports;
+    CounterHandle stMessages;
+    CounterHandle stMessageBytes;
+    CounterHandle stAuBindings;
+    CounterHandle stNotifications;
+
     struct Import
     {
         ExportRecord *record = nullptr;

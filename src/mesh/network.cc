@@ -14,7 +14,15 @@ Network::Network(Simulation &sim, int width, int height,
       receivers(topo.nodeCount()),
       linkBusyUntil(topo.linkCount(), 0),
       loopbackBusyUntil(topo.nodeCount(), 0),
-      routeCache(std::size_t(topo.nodeCount()) * topo.nodeCount())
+      linkTracks(topo.linkCount(), -1),
+      routeCache(std::size_t(topo.nodeCount()) * topo.nodeCount()),
+      stPackets(sim.stats(), "mesh.packets"),
+      stBytes(sim.stats(), "mesh.bytes"),
+      stDrops(sim.stats(), "mesh.drops"),
+      stOutageDrops(sim.stats(), "mesh.outage_drops"),
+      stCorruptions(sim.stats(), "mesh.corruptions"),
+      stLinkStalls(sim.stats(), "mesh.link_stalls"),
+      accLinkStallPs(sim.stats(), "mesh.link_stall_ps")
 {
     if (_params.fault.reliabilityEnabled()) {
         injector = std::make_unique<FaultInjector>(_params.fault,
@@ -35,8 +43,6 @@ Network::Network(Simulation &sim, int width, int height,
 int
 Network::linkTrack(int link)
 {
-    if (linkTracks.empty())
-        linkTracks.assign(topo.linkCount(), -1);
     int &t = linkTracks[link];
     if (t < 0)
         t = trace_json::track(strfmt("mesh.link%d", link));
@@ -67,6 +73,19 @@ Network::route(NodeId src, NodeId dst)
 }
 
 void
+Network::scheduleDelivery(Packet &&pkt, Tick deliver)
+{
+    if (pkt.life.id)
+        pkt.life.delivered = deliver;
+    auto [p, id] = _pool.acquireRef();
+    *p = std::move(pkt);
+    sim.scheduleAt(deliver, [this, p, id = id] {
+        receivers[p->dst](*p);
+        _pool.release(id);
+    });
+}
+
+void
 Network::send(Packet pkt)
 {
     if (pkt.dst >= receivers.size())
@@ -74,12 +93,22 @@ Network::send(Packet pkt)
     if (!receivers[pkt.dst])
         panic("send to node %u with no receiver attached", pkt.dst);
 
-    auto &stats = sim.stats();
-    stats.counter("mesh.packets").inc(pkt.hwPackets);
-    stats.counter("mesh.bytes").inc(pkt.wireBytes);
+    stPackets.inc(pkt.hwPackets);
+    stBytes.inc(pkt.wireBytes);
 
-    Tick serialization = transferTime(pkt.wireBytes,
-                                      _params.linkBytesPerSec);
+    // Packet sizes are highly repetitive (NI chunk sizes, control
+    // packets), so a one-entry memo elides the floating-point
+    // conversion on nearly every send. Same input, same output:
+    // timing is bit-identical to calling transferTime each time.
+    Tick serialization;
+    if (pkt.wireBytes == serMemoBytes) {
+        serialization = serMemoTime;
+    } else {
+        serialization = transferTime(pkt.wireBytes,
+                                     _params.linkBytesPerSec);
+        serMemoBytes = pkt.wireBytes;
+        serMemoTime = serialization;
+    }
 
     if (pkt.src == pkt.dst) {
         // NI-internal loopback: the payload still streams through the
@@ -87,12 +116,9 @@ Network::send(Packet pkt)
         // sends serialize on that path like on a real link.
         Tick start = std::max(sim.now(), loopbackBusyUntil[pkt.src]);
         loopbackBusyUntil[pkt.src] = start + serialization;
-        Tick deliver = start + serialization + _params.loopbackLatency;
-        if (pkt.life.id)
-            pkt.life.delivered = deliver;
-        auto p = std::make_shared<Packet>(std::move(pkt));
-        sim.schedule(deliver - sim.now(),
-                     [this, p] { receivers[p->dst](*p); });
+        scheduleDelivery(std::move(pkt),
+                         start + serialization +
+                             _params.loopbackLatency);
         return;
     }
 
@@ -100,8 +126,42 @@ Network::send(Packet pkt)
 
     // Head enters the backplane through the injection transceiver.
     Tick head = sim.now() + _params.transceiverLatency;
-    Tick tail_at_last_link_start = head;
     auto [route_begin, route_end] = route(pkt.src, pkt.dst);
+
+    if (!injector && !tracing) {
+        // Fast path: with no fault plane and no tracing, the only
+        // per-link work that matters is the busy-time bookkeeping.
+        // If every link on the route is idle when the head arrives
+        // (the common case for latency-bound traffic), the delivery
+        // time follows analytically and the loop reduces to the
+        // busy-until stores. The first pass is read-only, so a busy
+        // link falls through to the general loop with nothing to
+        // undo.
+        Tick h = head;
+        bool idle = true;
+        for (const int *lp = route_begin; lp != route_end; ++lp) {
+            if (linkBusyUntil[*lp] > h) {
+                idle = false;
+                break;
+            }
+            h += _params.hopLatency;
+        }
+        if (idle) {
+            Tick s = head;
+            for (const int *lp = route_begin; lp != route_end; ++lp) {
+                linkBusyUntil[*lp] = s + serialization;
+                s += _params.hopLatency;
+            }
+            // s is now head + n*hop; the tail streams off the last
+            // link and exits through the ejection transceiver.
+            scheduleDelivery(std::move(pkt),
+                             s + serialization +
+                                 _params.transceiverLatency);
+            return;
+        }
+    }
+
+    Tick tail_at_last_link_start = head;
     for (const int *lp = route_begin; lp != route_end; ++lp) {
         int link = *lp;
         if (injector) {
@@ -111,9 +171,9 @@ Network::send(Packet pkt)
                 // The head dies at this link; upstream links already
                 // streamed the body (charged above), this one carries
                 // nothing.
-                stats.counter("mesh.drops").inc();
+                stDrops.inc();
                 if (v.outage)
-                    stats.counter("mesh.outage_drops").inc();
+                    stOutageDrops.inc();
                 if (tracing)
                     trace_json::instantEvent(
                         linkTrack(link), v.outage ? "outage_drop"
@@ -125,7 +185,7 @@ Network::send(Packet pkt)
             }
             if (v.corrupt) {
                 pkt.checksum ^= v.corruptMask;
-                stats.counter("mesh.corruptions").inc();
+                stCorruptions.inc();
             }
             head += v.jitter;
         }
@@ -134,9 +194,8 @@ Network::send(Packet pkt)
         Tick start = std::max(head, linkBusyUntil[link]);
         linkBusyUntil[link] = start + serialization;
         if (start > head) {
-            stats.counter("mesh.link_stalls").inc();
-            stats.accumulator("mesh.link_stall_ps")
-                .sample(double(start - head));
+            stLinkStalls.inc();
+            accLinkStallPs.sample(double(start - head));
         }
         if (tracing) {
             // One hop span per link the packet's body streams through.
@@ -160,11 +219,7 @@ Network::send(Packet pkt)
                    pkt.dst, pkt.wireBytes));
     }
 
-    if (pkt.life.id)
-        pkt.life.delivered = deliver;
-    auto p = std::make_shared<Packet>(std::move(pkt));
-    sim.schedule(deliver - sim.now(),
-                 [this, p] { receivers[p->dst](*p); });
+    scheduleDelivery(std::move(pkt), deliver);
 }
 
 Tick

@@ -29,8 +29,10 @@
 
 #include "mesh/fault.hh"
 #include "mesh/packet.hh"
+#include "mesh/packet_pool.hh"
 #include "mesh/topology.hh"
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 
 namespace shrimp::mesh
 {
@@ -124,6 +126,13 @@ class Network
     /** The fault plane, or nullptr when faults are off. */
     FaultInjector *faultInjector() { return injector.get(); }
 
+    /**
+     * The in-flight packet pool. Shared with the NICs, which draw
+     * retransmit-buffer slots from it, so one pool's slabs cover all
+     * packet records the simulation keeps alive at once.
+     */
+    PacketPool &pool() { return _pool; }
+
   private:
     /** Cached trace track id for @p link ("mesh.linkN"). */
     int linkTrack(int link);
@@ -135,6 +144,9 @@ class Network
         std::int32_t length = 0;
     };
 
+    /** Schedule delivery of @p pkt at absolute time @p deliver. */
+    void scheduleDelivery(Packet &&pkt, Tick deliver);
+
     Simulation &sim;
     Topology topo;
     NetworkParams _params;
@@ -145,6 +157,21 @@ class Network
     std::vector<RouteRef> routeCache;
     std::vector<int> routeArena;
     std::unique_ptr<FaultInjector> injector;
+    PacketPool _pool;
+
+    /** One-entry serialization-time memo (see send()). */
+    std::uint32_t serMemoBytes = ~0u;
+    Tick serMemoTime = 0;
+
+    // Interned hot-path statistics (lazy: absent from reports until
+    // first bumped, exactly like the name-keyed lookups they replace).
+    CounterHandle stPackets;
+    CounterHandle stBytes;
+    CounterHandle stDrops;
+    CounterHandle stOutageDrops;
+    CounterHandle stCorruptions;
+    CounterHandle stLinkStalls;
+    AccumulatorHandle accLinkStallPs;
 };
 
 } // namespace shrimp::mesh

@@ -108,8 +108,11 @@ BspDomain::put(int rank, int dst, int area, std::size_t offset,
     ScopedCategory cat(ranks[rank].account,
                        TimeCategory::Communication);
     ep.send(a.proxies[rank][dst], src, bytes, offset);
-    cluster.sim().stats()
-        .counter(ep.node().name() + ".bsp.puts").inc();
+    PerRank &pr = ranks[rank];
+    if (!pr.stPuts)
+        pr.stPuts = CounterHandle(cluster.sim().stats(),
+                                  ep.node().name() + ".bsp.puts");
+    pr.stPuts.inc();
 }
 
 void

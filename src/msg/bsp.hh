@@ -86,6 +86,9 @@ class BspDomain
         std::uint64_t step = 0;
         TimeAccount *account = nullptr;
         std::vector<void *> pendingAreas; //!< registration order
+
+        /** Interned ".bsp.puts", bound on first put (lazy). */
+        CounterHandle stPuts;
     };
 
     core::Cluster &cluster;

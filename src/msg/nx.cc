@@ -173,9 +173,14 @@ NxProcess::csend(int type, const void *buf, std::size_t len, int to)
     MsgTrailer trl{out.nextSeq, 0};
     std::memcpy(frame.data() + total - sizeof(trl), &trl, sizeof(trl));
 
-    auto &stats = ep.node().simulation().stats();
-    stats.counter(ep.node().name() + ".nx.sends").inc();
-    stats.counter(ep.node().name() + ".nx.send_bytes").inc(len);
+    if (!stSends) {
+        auto &stats = ep.node().simulation().stats();
+        stSends = CounterHandle(stats, ep.node().name() + ".nx.sends");
+        stSendBytes =
+            CounterHandle(stats, ep.node().name() + ".nx.send_bytes");
+    }
+    stSends.inc();
+    stSendBytes.inc(len);
 
     if (dom.config.useAutomaticUpdate) {
         // Library-level gather into the AU-bound staging ring; the

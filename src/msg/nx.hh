@@ -131,6 +131,11 @@ class NxProcess
     int rank;
     TimeAccount *account = nullptr;
     std::deque<PendingMsg> pending;
+
+    // Interned per-process statistics, bound on first send (lazy;
+    // see sim/stats.hh).
+    CounterHandle stSends;
+    CounterHandle stSendBytes;
 };
 
 /**

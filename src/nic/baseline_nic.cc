@@ -12,7 +12,11 @@ namespace shrimp::nic
 BaselineNic::BaselineNic(node::Node &n, mesh::Network &net,
                          const BaselineNicParams &params)
     : NicBase(n, net), sim(n.simulation()), _params(params),
-      statPrefix(n.name() + ".bnic")
+      statPrefix(n.name() + ".bnic"),
+      stSends(sim.stats(), statPrefix + ".sends"),
+      stSendBytes(sim.stats(), statPrefix + ".send_bytes"),
+      stPacketsIn(sim.stats(), statPrefix + ".packets_in"),
+      stBytesIn(sim.stats(), statPrefix + ".bytes_in")
 {
     sim.spawn(statPrefix + ".fw_engine", [this] { engineBody(); });
 }
@@ -53,8 +57,8 @@ BaselineNic::submitDeliberate(const DuRequest &req)
 
     sendQueue.push_back(std::move(pkt));
     sendQueueDst.push_back(entry.dstNode);
-    sim.stats().counter(statPrefix + ".sends").inc();
-    sim.stats().counter(statPrefix + ".send_bytes").inc(req.bytes);
+    stSends.inc();
+    stSendBytes.inc(req.bytes);
     workWait.wakeAll(sim);
 }
 
@@ -128,8 +132,8 @@ BaselineNic::receive(const mesh::Packet &pkt)
     _node.bus().reserve(
         transferTime(bytes, _node.params().memBusBytesPerSec));
 
-    sim.stats().counter(statPrefix + ".packets_in").inc();
-    sim.stats().counter(statPrefix + ".bytes_in").inc(bytes);
+    stPacketsIn.inc();
+    stBytesIn.inc(bytes);
     if (pkt.life.id && lifecycle)
         lifecycle->record(pkt.life.born, pkt.life.queued,
                           pkt.life.injected, pkt.life.delivered, start,

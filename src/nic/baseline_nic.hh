@@ -75,6 +75,12 @@ class BaselineNic : public NicBase
     BaselineNicParams _params;
     std::string statPrefix;
 
+    // Interned per-NIC statistics (lazy; see sim/stats.hh).
+    CounterHandle stSends;
+    CounterHandle stSendBytes;
+    CounterHandle stPacketsIn;
+    CounterHandle stBytesIn;
+
     std::deque<DuPacket> sendQueue;
     std::deque<NodeId> sendQueueDst;
     WaitQueue slotWait;

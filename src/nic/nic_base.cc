@@ -10,7 +10,13 @@ namespace shrimp::nic
 {
 
 NicBase::NicBase(node::Node &n, mesh::Network &net)
-    : _node(n), _net(net), _reliable(net.reliabilityEnabled())
+    : _node(n), _net(net), _reliable(net.reliabilityEnabled()),
+      stCorruptRx(n.simulation().stats(), "mesh.corrupt_rx"),
+      stDupRx(n.simulation().stats(), "mesh.dup_rx"),
+      stRetransmits(n.simulation().stats(), "mesh.retransmits"),
+      stRtoFires(n.simulation().stats(), "mesh.rto_fires"),
+      stAcks(n.simulation().stats(), "mesh.acks"),
+      stNacks(n.simulation().stats(), "mesh.nacks")
 {
     _net.attach(n.id(),
                 [this](const mesh::Packet &p) { linkReceive(p); });
@@ -71,6 +77,7 @@ NicBase::channelFor(NodeId dst)
             _node.name() + ".rel.dst" + std::to_string(dst) + ".";
         ch.stOutstanding = &stats.scalar(prefix + "outstanding");
         ch.stSrttUs = &stats.scalar(prefix + "srtt_us");
+        ch.stRttvarUs = &stats.scalar(prefix + "rttvar_us");
         ch.stLastRtoUs = &stats.scalar(prefix + "last_rto_fire_us");
         ch.stGaveUp = &stats.scalar(prefix + "gave_up");
         ch.accRttUs = &stats.accumulator(prefix + "ack_rtt_us");
@@ -91,6 +98,7 @@ NicBase::channelView(NodeId dst) const
     ChannelView v;
     v.outstanding = ch.unacked.size();
     v.srtt = ch.srtt;
+    v.rttvar = ch.rttvar;
     v.lastRtoFire = ch.lastRtoFire;
     v.rtoStreak = ch.rtoStreak;
     v.gaveUp = ch.gaveUp;
@@ -109,13 +117,31 @@ NicBase::retransmitBacklog() const
 void
 NicBase::sampleRtt(RelChannel &ch, Tick rtt)
 {
-    // Groundwork for the ROADMAP adaptive-RTO item: per-destination
-    // round-trip samples plus an RFC6298-style smoothed estimate.
-    ch.srtt = ch.srtt ? (7 * ch.srtt + rtt) / 8 : rtt;
+    // RFC6298-style estimators feeding the adaptive timeout: the
+    // variation update uses the error against the *previous* srtt,
+    // so it must run first.
+    if (ch.srtt == 0) {
+        ch.srtt = rtt;
+        ch.rttvar = rtt / 2;
+    } else {
+        Tick err = rtt > ch.srtt ? rtt - ch.srtt : ch.srtt - rtt;
+        ch.rttvar = (3 * ch.rttvar + err) / 4;
+        ch.srtt = (7 * ch.srtt + rtt) / 8;
+    }
     double us = toMicroseconds(rtt);
     rttHist->sample(us);
     ch.accRttUs->sample(us);
     ch.stSrttUs->set(toMicroseconds(ch.srtt));
+    ch.stRttvarUs->set(toMicroseconds(ch.rttvar));
+}
+
+Tick
+NicBase::rtoFor(const RelChannel &ch) const
+{
+    if (ch.srtt == 0)
+        return _rel.rtoBase;
+    return std::clamp(ch.srtt + 4 * ch.rttvar, _rel.rtoBase,
+                      _rel.rtoMax);
 }
 
 void
@@ -132,15 +158,18 @@ NicBase::netSend(mesh::Packet pkt)
     pkt.checksum = mesh::packetChecksum(pkt);
 
     auto &sim = _node.simulation();
-    // Keep the clean copy before handing the packet to the mesh: the
-    // fault plane mutates the in-flight checksum, never this copy.
-    ch.unacked.push_back(pkt);
+    // Keep a clean copy (in a pool slot) before handing the packet to
+    // the mesh: the fault plane mutates the in-flight checksum, never
+    // this copy.
+    mesh::Packet *slot = _net.pool().acquire();
+    *slot = pkt;
+    ch.unacked.push_back(slot);
     ch.sentAt.push_back(sim.now());
     ch.stOutstanding->set(double(ch.unacked.size()));
     // Invariant: the timer is armed exactly while unacked is non-empty.
     if (ch.unacked.size() == 1) {
         if (ch.rtoNow == 0)
-            ch.rtoNow = _rel.rtoBase;
+            ch.rtoNow = rtoFor(ch);
         armRto(ch, pkt.dst);
     }
     _net.send(std::move(pkt));
@@ -154,10 +183,8 @@ NicBase::linkReceive(const mesh::Packet &pkt)
         return;
     }
 
-    auto &stats = _node.simulation().stats();
-
     if (pkt.checksum != mesh::packetChecksum(pkt)) {
-        stats.counter("mesh.corrupt_rx").inc();
+        stCorruptRx.inc();
         if (pkt.kind == mesh::PacketKind::Data) {
             // Ask for the resend right away instead of waiting out the
             // sender's timeout. Control packets are covered by data
@@ -181,7 +208,7 @@ NicBase::linkReceive(const mesh::Packet &pkt)
     if (pkt.seq < rx.expected) {
         // Go-back-N resend of something already delivered; re-ACK so
         // the sender's window moves even if the original ACK was lost.
-        stats.counter("mesh.dup_rx").inc();
+        stDupRx.inc();
         sendCtrl(pkt.src, mesh::PacketKind::Ack, rx.expected);
         return;
     }
@@ -219,18 +246,19 @@ NicBase::handleAck(const mesh::Packet &pkt)
     Tick now = _node.simulation().now();
 
     bool progress = false;
-    while (!ch.unacked.empty() && ch.unacked.front().seq < pkt.seq) {
+    while (!ch.unacked.empty() && ch.unacked.front()->seq < pkt.seq) {
         // Karn's rule: a retransmitted packet's ACK is ambiguous
         // (original or copy?), so only first-transmission sequences
         // contribute round-trip samples.
-        if (ch.unacked.front().seq > ch.retxMaxSeq)
+        if (ch.unacked.front()->seq > ch.retxMaxSeq)
             sampleRtt(ch, now - ch.sentAt.front());
+        _net.pool().release(ch.unacked.front());
         ch.unacked.pop_front();
         ch.sentAt.pop_front();
         progress = true;
     }
     if (progress) {
-        ch.rtoNow = _rel.rtoBase;
+        ch.rtoNow = rtoFor(ch);
         ch.rtoStreak = 0;
         ch.stOutstanding->set(double(ch.unacked.size()));
     }
@@ -249,15 +277,17 @@ NicBase::handleNack(const mesh::Packet &pkt)
 
     // A NACK for seq acknowledges everything before it...
     bool progress = false;
-    while (!ch.unacked.empty() && ch.unacked.front().seq < pkt.seq) {
+    while (!ch.unacked.empty() && ch.unacked.front()->seq < pkt.seq) {
+        _net.pool().release(ch.unacked.front());
         ch.unacked.pop_front();
         ch.sentAt.pop_front();
-        ch.rtoNow = _rel.rtoBase;
-        ch.rtoStreak = 0;
         progress = true;
     }
-    if (progress)
+    if (progress) {
+        ch.rtoNow = rtoFor(ch);
+        ch.rtoStreak = 0;
         ch.stOutstanding->set(double(ch.unacked.size()));
+    }
     // ...and requests a go-back-N resend of everything from it on.
     if (!ch.unacked.empty())
         retransmit(ch, pkt.src);
@@ -269,13 +299,12 @@ void
 NicBase::retransmit(RelChannel &ch, NodeId dst)
 {
     auto &sim = _node.simulation();
-    auto &stats = sim.stats();
 
     Tick oldest = ch.sentAt.front();
-    ch.retxMaxSeq = std::max(ch.retxMaxSeq, ch.unacked.back().seq);
+    ch.retxMaxSeq = std::max(ch.retxMaxSeq, ch.unacked.back()->seq);
     for (std::size_t i = 0; i < ch.unacked.size(); ++i) {
-        stats.counter("mesh.retransmits").inc();
-        mesh::Packet copy = ch.unacked[i];
+        stRetransmits.inc();
+        mesh::Packet copy = *ch.unacked[i];
         _net.send(std::move(copy));
     }
     if (trace_json::enabled())
@@ -283,7 +312,7 @@ NicBase::retransmit(RelChannel &ch, NodeId dst)
             relTrack(), "retx", oldest, sim.now(),
             strfmt("{\"dst\":%u,\"packets\":%zu,\"first_seq\":%llu}",
                    dst, ch.unacked.size(),
-                   (unsigned long long)ch.unacked.front().seq));
+                   (unsigned long long)ch.unacked.front()->seq));
 
     ch.rto.cancel();
     armRto(ch, dst);
@@ -305,7 +334,7 @@ NicBase::rtoFire(NodeId dst)
         return;
 
     auto &sim = _node.simulation();
-    sim.stats().counter("mesh.rto_fires").inc();
+    stRtoFires.inc();
     ch.lastRtoFire = sim.now();
     ch.stLastRtoUs->set(toMicroseconds(sim.now()));
     if (++ch.rtoStreak > _rel.rtoGiveUp) {
@@ -322,10 +351,7 @@ NicBase::rtoFire(NodeId dst)
 void
 NicBase::sendCtrl(NodeId dst, mesh::PacketKind kind, std::uint64_t seq)
 {
-    auto &stats = _node.simulation().stats();
-    stats.counter(kind == mesh::PacketKind::Ack ? "mesh.acks"
-                                                : "mesh.nacks")
-        .inc();
+    (kind == mesh::PacketKind::Ack ? stAcks : stNacks).inc();
 
     mesh::Packet pkt;
     pkt.src = _node.id();

@@ -45,11 +45,15 @@ namespace shrimp::nic
 struct ReliabilityParams
 {
     /**
-     * Initial retransmission timeout. Deliberately conservative: lost
-     * packets in the middle of a window are recovered fast via NACKs,
-     * so the timer only covers losses at the tail of a window, and a
-     * short timeout fires spuriously whenever mesh backlog delays an
-     * ACK beyond it (costing duplicate traffic, not correctness).
+     * Floor of the retransmission timeout. Deliberately conservative:
+     * lost packets in the middle of a window are recovered fast via
+     * NACKs, so the timer only covers losses at the tail of a window,
+     * and a short timeout fires spuriously whenever mesh backlog
+     * delays an ACK beyond it (costing duplicate traffic, not
+     * correctness). Channels with round-trip history adapt upward
+     * from this floor: the armed timeout is srtt + 4*rttvar
+     * (RFC6298-style) clamped to [rtoBase, rtoMax], so a congested
+     * path raises its own timer instead of firing spuriously.
      */
     Tick rtoBase = microseconds(300);
 
@@ -151,6 +155,7 @@ class NicBase
     {
         std::uint64_t outstanding = 0; //!< unacked packets in flight
         Tick srtt = 0;            //!< smoothed ACK round-trip, 0 = none
+        Tick rttvar = 0;          //!< round-trip variation estimate
         Tick lastRtoFire = kTickNever; //!< time of the last timeout
         int rtoStreak = 0;        //!< consecutive fires, no progress
         bool gaveUp = false;      //!< path declared dead
@@ -270,19 +275,28 @@ class NicBase
     struct RelChannel
     {
         std::uint64_t nextSeq = 1;      //!< next sequence to assign
-        std::deque<mesh::Packet> unacked; //!< retransmit buffer, seq order
+
+        /**
+         * Retransmit buffer, seq order. Slots are drawn from the
+         * network's PacketPool at send and released on cumulative
+         * ACK/NACK progress, so buffering a packet costs a pool pop
+         * instead of a heap-backed deque copy.
+         */
+        std::deque<mesh::Packet *> unacked;
         std::deque<Tick> sentAt;        //!< first-send time, parallel
         EventHandle rto;                //!< pending timeout, if any
         Tick rtoNow = 0;                //!< current backoff value
         int rtoStreak = 0;              //!< consecutive fires, no progress
 
-        // Observability (stall surfacing + adaptive-RTO groundwork).
+        // Round-trip estimators (adaptive RTO) + observability.
         Tick srtt = 0;             //!< smoothed ACK round-trip
+        Tick rttvar = 0;           //!< round-trip variation (RFC6298)
         Tick lastRtoFire = kTickNever; //!< last timeout fire time
         bool gaveUp = false;       //!< fatal give-up reached
         std::uint64_t retxMaxSeq = 0; //!< highest seq ever resent
         Scalar *stOutstanding = nullptr; //!< ".outstanding" gauge
         Scalar *stSrttUs = nullptr;      //!< ".srtt_us" gauge
+        Scalar *stRttvarUs = nullptr;    //!< ".rttvar_us" gauge
         Scalar *stLastRtoUs = nullptr;   //!< ".last_rto_fire_us"
         Scalar *stGaveUp = nullptr;      //!< ".gave_up" flag
         Accumulator *accRttUs = nullptr; //!< ".ack_rtt_us" samples
@@ -307,6 +321,14 @@ class NicBase
     /** Record one ACK round-trip sample for @p ch (Karn-filtered). */
     void sampleRtt(RelChannel &ch, Tick rtt);
 
+    /**
+     * The adaptive timeout for @p ch: srtt + 4*rttvar clamped to
+     * [rtoBase, rtoMax], or plain rtoBase before any round-trip
+     * sample exists. Exponential backoff in rtoFire still doubles
+     * from whatever this returns.
+     */
+    Tick rtoFor(const RelChannel &ch) const;
+
     void handleAck(const mesh::Packet &pkt);
     void handleNack(const mesh::Packet &pkt);
     void sendCtrl(NodeId dst, mesh::PacketKind kind, std::uint64_t seq);
@@ -323,6 +345,14 @@ class NicBase
     std::unordered_map<NodeId, RelChannel> channels;
     std::unordered_map<NodeId, RelReceiver> rxStreams;
     int _relTrack = -1;
+
+    // Interned protocol counters (lazy; see sim/stats.hh).
+    CounterHandle stCorruptRx;
+    CounterHandle stDupRx;
+    CounterHandle stRetransmits;
+    CounterHandle stRtoFires;
+    CounterHandle stAcks;
+    CounterHandle stNacks;
 
     /** Node-wide ACK round-trip histogram ("<node>.rel.ack_rtt_us"). */
     Histogram *rttHist = nullptr;

@@ -28,7 +28,18 @@ auStorePackets(std::uint32_t bytes)
 ShrimpNic::ShrimpNic(node::Node &n, mesh::Network &net,
                      const ShrimpNicParams &params)
     : NicBase(n, net), sim(n.simulation()), _params(params),
-      statPrefix(n.name() + ".nic")
+      statPrefix(n.name() + ".nic"),
+      stDuTransfers(sim.stats(), statPrefix + ".du_transfers"),
+      stDuBytes(sim.stats(), statPrefix + ".du_bytes"),
+      stEisaBusyPs(sim.stats(), statPrefix + ".eisa_busy_ps"),
+      stAuStores(sim.stats(), statPrefix + ".au_stores"),
+      stAuBytes(sim.stats(), statPrefix + ".au_bytes"),
+      stAuPackets(sim.stats(), statPrefix + ".au_packets"),
+      stAuWireBytes(sim.stats(), statPrefix + ".au_wire_bytes"),
+      stFifoThresholdIrqs(sim.stats(),
+                          statPrefix + ".fifo_threshold_irqs"),
+      stPacketsIn(sim.stats(), statPrefix + ".packets_in"),
+      stBytesIn(sim.stats(), statPrefix + ".bytes_in")
 {
     sim.spawn(statPrefix + ".du_engine", [this] { duEngineBody(); });
 }
@@ -103,8 +114,8 @@ ShrimpNic::submitDeliberate(const DuRequest &req)
 
     duQueue.push_back(std::move(pkt));
     duQueueDst.push_back(entry.dstNode);
-    sim.stats().counter(statPrefix + ".du_transfers").inc();
-    sim.stats().counter(statPrefix + ".du_bytes").inc(req.bytes);
+    stDuTransfers.inc();
+    stDuBytes.inc(req.bytes);
     duWorkWait.wakeAll(sim);
 }
 
@@ -138,8 +149,7 @@ ShrimpNic::duEngineBody()
         Tick bus_time = transferTime(bytes, mp.memBusBytesPerSec);
         _node.bus().reserve(bus_time);
         _node.cpu().reserveKernel(bus_time);
-        sim.stats().counter(statPrefix + ".eisa_busy_ps")
-            .inc(dma_done - start);
+        stEisaBusyPs.inc(dma_done - start);
         sim.delay(dma_done - sim.now());
 
         // Inject through the NI chip (shared with the AU FIFO drain;
@@ -266,8 +276,8 @@ ShrimpNic::auStore(const void *src, std::uint32_t bytes)
     }
 
     lastAuFrame = frame;
-    sim.stats().counter(statPrefix + ".au_stores").inc();
-    sim.stats().counter(statPrefix + ".au_bytes").inc(bytes);
+    stAuStores.inc();
+    stAuBytes.inc(bytes);
 }
 
 void
@@ -292,9 +302,8 @@ ShrimpNic::flushTrain(AuTrain &train)
     std::uint32_t wire =
         data_bytes + train.packetCount * kPacketHeaderBytes;
 
-    sim.stats().counter(statPrefix + ".au_packets")
-        .inc(train.packetCount);
-    sim.stats().counter(statPrefix + ".au_wire_bytes").inc(wire);
+    stAuPackets.inc(train.packetCount);
+    stAuWireBytes.inc(wire);
 
     // FIFO occupancy. The link drains ~8x faster than write-through
     // stores arrive, so with a free NI chip only a couple of packets
@@ -317,7 +326,7 @@ ShrimpNic::flushTrain(AuTrain &train)
     if (_fifoFill > threshold && !fifoStalled) {
         fifoStalled = true;
         fifoStallStart = sim.now();
-        sim.stats().counter(statPrefix + ".fifo_threshold_irqs").inc();
+        stFifoThresholdIrqs.inc();
         if (trace_json::enabled())
             trace_json::instantEvent(traceTrack(), "fifo_threshold_irq");
         _node.os().interrupt(_params.fifoInterruptCost);
@@ -429,9 +438,9 @@ ShrimpNic::receive(const mesh::Packet &pkt)
     _node.bus().reserve(bus_time);
     _node.cpu().reserveKernel(bus_time);
 
-    sim.stats().counter(statPrefix + ".packets_in").inc(packets);
-    sim.stats().counter(statPrefix + ".bytes_in").inc(data_bytes);
-    sim.stats().counter(statPrefix + ".eisa_busy_ps").inc(done - start);
+    stPacketsIn.inc(packets);
+    stBytesIn.inc(data_bytes);
+    stEisaBusyPs.inc(done - start);
     if (pkt.life.id && lifecycle)
         lifecycle->record(pkt.life.born, pkt.life.queued,
                           pkt.life.injected, pkt.life.delivered, start,

@@ -149,6 +149,18 @@ class ShrimpNic : public NicBase
     int _traceTrack = -1;
     Tick fifoStallStart = 0;
 
+    // Interned per-NIC statistics (lazy; see sim/stats.hh).
+    CounterHandle stDuTransfers;
+    CounterHandle stDuBytes;
+    CounterHandle stEisaBusyPs;
+    CounterHandle stAuStores;
+    CounterHandle stAuBytes;
+    CounterHandle stAuPackets;
+    CounterHandle stAuWireBytes;
+    CounterHandle stFifoThresholdIrqs;
+    CounterHandle stPacketsIn;
+    CounterHandle stBytesIn;
+
     // Deliberate update engine.
     std::deque<DuPacket> duQueue;
     std::deque<NodeId> duQueueDst;

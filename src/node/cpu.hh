@@ -18,6 +18,7 @@
 
 #include "node/machine_params.hh"
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace shrimp::node
@@ -36,7 +37,9 @@ class Cpu
      */
     Cpu(Simulation &sim, const MachineParams &params,
         std::string stat_prefix)
-        : sim(sim), params(params), statPrefix(std::move(stat_prefix))
+        : sim(sim), params(params), statPrefix(std::move(stat_prefix)),
+          stBusyPs(sim.stats(), statPrefix + ".cpu_busy_ps"),
+          stKernelPs(sim.stats(), statPrefix + ".cpu_kernel_ps")
     {
     }
 
@@ -74,7 +77,7 @@ class Cpu
         pending = 0;
         Tick start = busyUntil > sim.now() ? busyUntil : sim.now();
         busyUntil = start + work;
-        sim.stats().counter(statPrefix + ".cpu_busy_ps").inc(work);
+        stBusyPs.inc(work);
         sim.delay(busyUntil - sim.now());
     }
 
@@ -87,7 +90,7 @@ class Cpu
     {
         Tick start = busyUntil > sim.now() ? busyUntil : sim.now();
         busyUntil = start + cost;
-        sim.stats().counter(statPrefix + ".cpu_kernel_ps").inc(cost);
+        stKernelPs.inc(cost);
         return busyUntil;
     }
 
@@ -112,6 +115,8 @@ class Cpu
     Simulation &sim;
     const MachineParams &params;
     std::string statPrefix;
+    CounterHandle stBusyPs;   //!< interned ".cpu_busy_ps"
+    CounterHandle stKernelPs; //!< interned ".cpu_kernel_ps"
     Tick pending = 0;
     Tick busyUntil = 0;
 };

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/simulation.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace shrimp::node
@@ -32,7 +33,9 @@ class MemoryBus
      * @param stat_prefix Prefix for utilization statistics.
      */
     MemoryBus(Simulation &sim, std::string stat_prefix)
-        : sim(sim), statPrefix(std::move(stat_prefix))
+        : sim(sim), statPrefix(std::move(stat_prefix)),
+          stGrants(sim.stats(), statPrefix + ".bus_grants"),
+          stBusyPs(sim.stats(), statPrefix + ".bus_busy_ps")
     {
     }
 
@@ -47,8 +50,8 @@ class MemoryBus
     {
         Tick start = busyUntil > sim.now() ? busyUntil : sim.now();
         busyUntil = start + duration;
-        sim.stats().counter(statPrefix + ".bus_grants").inc();
-        sim.stats().counter(statPrefix + ".bus_busy_ps").inc(duration);
+        stGrants.inc();
+        stBusyPs.inc(duration);
         return busyUntil;
     }
 
@@ -71,15 +74,13 @@ class MemoryBus
     }
 
     /** Total booked busy time, for utilization reporting. */
-    Tick
-    busyTime() const
-    {
-        return Tick(sim.stats().counterValue(statPrefix + ".bus_busy_ps"));
-    }
+    Tick busyTime() const { return Tick(stBusyPs.value()); }
 
   private:
     Simulation &sim;
     std::string statPrefix;
+    CounterHandle stGrants; //!< interned ".bus_grants"
+    CounterHandle stBusyPs; //!< interned ".bus_busy_ps"
     Tick busyUntil = 0;
 };
 

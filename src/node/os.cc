@@ -8,7 +8,10 @@ namespace shrimp::node
 Os::Os(Simulation &sim, Cpu &cpu, const MachineParams &params,
        std::string stat_prefix)
     : sim(sim), cpu(cpu), params(params),
-      statPrefix(std::move(stat_prefix))
+      statPrefix(std::move(stat_prefix)),
+      stSyscalls(sim.stats(), statPrefix + ".syscalls"),
+      stInterrupts(sim.stats(), statPrefix + ".interrupts"),
+      stNotifications(sim.stats(), statPrefix + ".notifications")
 {
     dispatcher = sim.spawn(statPrefix + ".notifier",
                            [this] { dispatcherBody(); });
@@ -19,20 +22,20 @@ Os::syscall(Tick extra)
 {
     cpu.compute(params.syscallCost + extra);
     cpu.sync();
-    sim.stats().counter(statPrefix + ".syscalls").inc();
+    stSyscalls.inc();
 }
 
 Tick
 Os::interrupt(Tick cost)
 {
-    sim.stats().counter(statPrefix + ".interrupts").inc();
+    stInterrupts.inc();
     return cpu.reserveKernel(cost);
 }
 
 void
 Os::postNotification(std::function<void()> handler)
 {
-    sim.stats().counter(statPrefix + ".notifications").inc();
+    stNotifications.inc();
     queue.push_back(std::move(handler));
     dispatcherWait.wakeAll(sim);
 }

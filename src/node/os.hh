@@ -73,6 +73,9 @@ class Os
     Cpu &cpu;
     const MachineParams &params;
     std::string statPrefix;
+    CounterHandle stSyscalls;      //!< interned ".syscalls"
+    CounterHandle stInterrupts;    //!< interned ".interrupts"
+    CounterHandle stNotifications; //!< interned ".notifications"
     std::deque<std::function<void()>> queue;
     WaitQueue dispatcherWait;
     bool notificationsBlocked = false;

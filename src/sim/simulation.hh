@@ -113,6 +113,14 @@ class Simulation
         queue.schedule(delay, std::forward<F>(fn));
     }
 
+    /** Schedule a plain callback at absolute time @p when. */
+    template <class F>
+    void
+    scheduleAt(Tick when, F &&fn)
+    {
+        queue.scheduleAt(when, std::forward<F>(fn));
+    }
+
     /** Schedule a cancellable callback @p delay from now. */
     template <class F>
     EventHandle

@@ -191,17 +191,114 @@ class Scalar
     double _value = 0.0;
 };
 
+class StatsRegistry;
+
+/**
+ * Interned reference to a named Counter: the name is built once (at
+ * instrumentation-site construction) and the registry lookup happens
+ * at most once, so the per-event cost is a branch and an increment
+ * instead of a string construction plus a map walk.
+ *
+ * Resolution is lazy by default: the counter is not created in the
+ * registry until the first inc(). That preserves the registry's
+ * create-on-first-use semantics exactly — a counter that is never
+ * bumped stays absent from reports, byte-for-byte. Call bind() to
+ * force eager creation where a zero-valued counter is intentional
+ * (e.g. the mesh fault counters pre-touched when reliability is on).
+ *
+ * Handles hold a pointer into the registry's node-stable std::map,
+ * so they remain valid for the registry's lifetime; they must not
+ * outlive it, and they do not follow registry copies (snapshots).
+ */
+class CounterHandle
+{
+  public:
+    CounterHandle() = default;
+    CounterHandle(StatsRegistry &reg, std::string name)
+        : _reg(&reg), _name(std::move(name))
+    {
+    }
+
+    void
+    inc(std::uint64_t n = 1)
+    {
+        if (!_counter)
+            bind();
+        _counter->inc(n);
+    }
+
+    /** Create the counter in the registry now (shows up as 0). */
+    void bind();
+
+    /** Current value; 0 if unbound and absent from the registry. */
+    std::uint64_t value() const;
+
+    const std::string &name() const { return _name; }
+    explicit operator bool() const { return _reg != nullptr; }
+
+  private:
+    StatsRegistry *_reg = nullptr;
+    std::string _name;
+    Counter *_counter = nullptr;
+};
+
+/** Interned reference to a named Accumulator; see CounterHandle. */
+class AccumulatorHandle
+{
+  public:
+    AccumulatorHandle() = default;
+    AccumulatorHandle(StatsRegistry &reg, std::string name)
+        : _reg(&reg), _name(std::move(name))
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        if (!_acc)
+            bind();
+        _acc->sample(v);
+    }
+
+    /** Create the accumulator in the registry now. */
+    void bind();
+
+    const std::string &name() const { return _name; }
+    explicit operator bool() const { return _reg != nullptr; }
+
+  private:
+    StatsRegistry *_reg = nullptr;
+    std::string _name;
+    Accumulator *_acc = nullptr;
+};
+
 /**
  * Flat registry of named statistics.
  *
  * Names are hierarchical by convention ("node3.nic.packets_in").
  * Lookup creates on first use, so instrumentation sites stay terse.
+ * Hot paths intern the lookup with counterHandle()/CounterHandle
+ * instead of calling counter(name) per event; name-keyed lookup
+ * remains the interface for reports and tests.
  */
 class StatsRegistry
 {
   public:
     /** Get (or create) the counter called @p name. */
     Counter &counter(const std::string &name) { return counters[name]; }
+
+    /**
+     * Interned handle for @p name, resolved eagerly: the counter is
+     * created now and appears in reports even if never incremented.
+     * Use plain CounterHandle{reg, name} for lazy resolution.
+     */
+    CounterHandle
+    counterHandle(const std::string &name)
+    {
+        CounterHandle h(*this, name);
+        h.bind();
+        return h;
+    }
 
     /** Get (or create) the accumulator called @p name. */
     Accumulator &
@@ -300,6 +397,28 @@ class StatsRegistry
     std::map<std::string, Histogram> histograms;
     std::map<std::string, Scalar> scalars;
 };
+
+inline void
+CounterHandle::bind()
+{
+    if (!_counter)
+        _counter = &_reg->counter(_name);
+}
+
+inline std::uint64_t
+CounterHandle::value() const
+{
+    if (_counter)
+        return _counter->value();
+    return _reg ? _reg->counterValue(_name) : 0;
+}
+
+inline void
+AccumulatorHandle::bind()
+{
+    if (!_acc)
+        _acc = &_reg->accumulator(_name);
+}
 
 } // namespace shrimp
 

@@ -123,6 +123,10 @@ SocketDomain::connect(int rank, int peer_rank, int port)
 Socket::Socket(SocketDomain &dom, int rank, int peer)
     : dom(dom), _rank(rank), _peer(peer)
 {
+    node::Node &n = dom.cluster.vmmc(rank).node();
+    auto &stats = n.simulation().stats();
+    stSends = CounterHandle(stats, n.name() + ".sock.sends");
+    stSendBytes = CounterHandle(stats, n.name() + ".sock.send_bytes");
 }
 
 void
@@ -144,9 +148,8 @@ Socket::push(const void *buf, std::size_t len, bool staging_copy)
     ep.node().cpu().sync(); // close out compute time first
     ScopedCategory cat(account, TimeCategory::Communication);
 
-    auto &stats = ep.node().simulation().stats();
-    stats.counter(ep.node().name() + ".sock.send_bytes").inc(len);
-    stats.counter(ep.node().name() + ".sock.sends").inc();
+    stSendBytes.inc(len);
+    stSends.inc();
 
     if (staging_copy)
         ep.node().cpu().chargeCopy(len);

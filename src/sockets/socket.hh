@@ -101,6 +101,10 @@ class Socket
     int _peer;
     TimeAccount *account = nullptr;
 
+    // Interned per-socket statistics (lazy; see sim/stats.hh).
+    CounterHandle stSends;
+    CounterHandle stSendBytes;
+
     // Incoming (exported by this side).
     char *inRing = nullptr;
     Ctl *inCtl = nullptr;   //!< peer writes .written; we track .read

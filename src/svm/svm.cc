@@ -106,6 +106,17 @@ struct SvmRuntime::RankState
 
     int rank = -1;
     Vc vc;
+
+    // Interned per-rank statistics (lazy; see sim/stats.hh).
+    CounterHandle stFaults;
+    CounterHandle stTwins;
+    CounterHandle stDiffs;
+    CounterHandle stDiffBytes;
+    CounterHandle stInvalidations;
+    CounterHandle stLockAcquires;
+    CounterHandle stBarriers;
+    CounterHandle stCtlMsgs;
+
     std::vector<PageState> pages;
     std::vector<PageId> dirtyList;
     std::map<PageId, std::vector<char>> pendingDiffs;
@@ -186,6 +197,18 @@ SvmRuntime::SvmRuntime(core::Cluster &cluster, const SvmConfig &config)
         ranks[r] = std::make_unique<RankState>();
         RankState &rs = *ranks[r];
         rs.rank = r;
+        auto &stats = cluster.sim().stats();
+        const std::string prefix = cluster.node(r).name() + ".svm.";
+        rs.stFaults = CounterHandle(stats, prefix + "faults");
+        rs.stTwins = CounterHandle(stats, prefix + "twins");
+        rs.stDiffs = CounterHandle(stats, prefix + "diffs");
+        rs.stDiffBytes = CounterHandle(stats, prefix + "diff_bytes");
+        rs.stInvalidations =
+            CounterHandle(stats, prefix + "invalidations");
+        rs.stLockAcquires =
+            CounterHandle(stats, prefix + "lock_acquires");
+        rs.stBarriers = CounterHandle(stats, prefix + "barriers");
+        rs.stCtlMsgs = CounterHandle(stats, prefix + "ctl_msgs");
         rs.vc.assign(cfg.nprocs, 0);
         rs.pages.resize(pageCount);
         rs.heapProxy.assign(cfg.nprocs, core::kInvalidProxy);
@@ -508,8 +531,7 @@ SvmRuntime::fetchPage(int rank, PageId page)
     core::Endpoint &ep = cluster.vmmc(rank);
     cluster.node(rank).cpu().sync(); // close out compute time first
     ScopedCategory cat(&rs.account, TimeCategory::Communication);
-    auto &stats = cluster.sim().stats();
-    stats.counter(cluster.node(rank).name() + ".svm.faults").inc();
+    rs.stFaults.inc();
     ++rs.faultCount;
 
     cluster.node(rank).cpu().compute(cfg.faultTrapCost);
@@ -550,8 +572,7 @@ SvmRuntime::makeTwin(int rank, PageId page)
     cpu.compute(cfg.twinBaseCost);
     cpu.chargeCopy(node::kPageBytes);
     cpu.sync();
-    cluster.sim().stats()
-        .counter(cluster.node(rank).name() + ".svm.twins").inc();
+    rs.stTwins.inc();
 }
 
 // ---------------------------------------------------------------------
@@ -601,11 +622,8 @@ SvmRuntime::capturePendingDiff(int rank, PageId page)
             strfmt("{\"page\":%u,\"bytes\":%zu}", page, blob.size()));
 
     ++rs.diffCount;
-    cluster.sim().stats()
-        .counter(cluster.node(rank).name() + ".svm.diffs").inc();
-    cluster.sim().stats()
-        .counter(cluster.node(rank).name() + ".svm.diff_bytes")
-        .inc(blob.size());
+    rs.stDiffs.inc();
+    rs.stDiffBytes.inc(blob.size());
 
     auto &pending = rs.pendingDiffs[page];
     pending.insert(pending.end(), blob.begin(), blob.end());
@@ -763,11 +781,8 @@ SvmRuntime::applyNotices(int rank, const Vc &upto)
     // Our own counter may only move forward via our own releases.
     rs.vc[rank] = std::uint32_t(intervalsOf[rank].size());
 
-    if (invalidated) {
-        cluster.sim().stats()
-            .counter(cluster.node(rank).name() + ".svm.invalidations")
-            .inc(invalidated);
-    }
+    if (invalidated)
+        rs.stInvalidations.inc(invalidated);
 }
 
 // ---------------------------------------------------------------------
@@ -785,8 +800,7 @@ SvmRuntime::lock(int rank, int id)
     ScopedCategory cat(&rs.account, TimeCategory::Lock);
     rs.lastOp = "lock";
     rs.lastArg = id;
-    cluster.sim().stats()
-        .counter(cluster.node(rank).name() + ".svm.lock_acquires").inc();
+    rs.stLockAcquires.inc();
 
     int mgr = id % cfg.nprocs;
     if (mgr == rank) {
@@ -901,8 +915,7 @@ SvmRuntime::barrier(int rank)
     releaseInterval(rank);
 
     ScopedCategory cat(&rs.account, TimeCategory::Barrier);
-    cluster.sim().stats()
-        .counter(cluster.node(rank).name() + ".svm.barriers").inc();
+    rs.stBarriers.inc();
 
     rs.lastOp = "barrier";
     rs.lastArg = int(rs.barrierSeq + 1);
@@ -1036,8 +1049,7 @@ SvmRuntime::sendCtl(int rank, int to, const void *msg, std::size_t bytes,
                               ? proxy_override
                               : rs.reqProxy[to];
     ep.send(proxy, stamped.data(), bytes, offset, /*notify=*/true);
-    cluster.sim().stats()
-        .counter(cluster.node(rank).name() + ".svm.ctl_msgs").inc();
+    rs.stCtlMsgs.inc();
 }
 
 void

@@ -21,6 +21,8 @@
 #include "apps/radix.hh"
 #include "bench/bench_common.hh"
 #include "bench/sweep.hh"
+#include "core/cluster.hh"
+#include "core/vmmc.hh"
 #include "mesh/fault.hh"
 #include "mesh/network.hh"
 #include "nic/shrimp_nic.hh"
@@ -328,6 +330,11 @@ TEST(Reliability, ExactlyOnceInOrderUnderHeavyLoss)
     EXPECT_GT(stats.counterValue("mesh.drops"), 0u);
     EXPECT_GT(stats.counterValue("mesh.retransmits"), 0u);
     EXPECT_GT(stats.counterValue("mesh.acks"), 0u);
+
+    // Every packet record — delivered, dropped in the mesh, or held
+    // in a retransmit buffer along the way — went back to the pool.
+    EXPECT_GT(h.net.pool().capacity(), 0u);
+    EXPECT_EQ(h.net.pool().inUse(), 0u);
 }
 
 TEST(Reliability, CorruptedPacketsAreDroppedAndResent)
@@ -362,6 +369,37 @@ TEST(Reliability, CorruptedPacketsAreDroppedAndResent)
     EXPECT_GT(stats.counterValue("mesh.corruptions"), 0u);
     EXPECT_GT(stats.counterValue("mesh.corrupt_rx"), 0u);
     EXPECT_GT(stats.counterValue("mesh.retransmits"), 0u);
+    EXPECT_EQ(h.net.pool().inUse(), 0u);
+}
+
+TEST(Reliability, GiveUpOnDeadPathIsFatal)
+{
+    // Total loss: no ACK ever returns, so the timer backs off, fires
+    // rtoGiveUp times without progress, and the NIC declares the path
+    // dead instead of retransmitting forever.
+    FaultParams f;
+    f.dropRate = 1.0;
+    f.seed = 1;
+    EXPECT_DEATH(
+        {
+            RelHarness h(f);
+            char *dst =
+                static_cast<char *>(h.n1.mem().alloc(4096, true));
+            std::memset(dst, 0, 4096);
+            nic::OptIndex proxy =
+                h.nic0.importPage(1, h.n1.mem().frameOf(dst));
+            h.sim.spawn("send", [&] {
+                char v = 1;
+                nic::DuRequest req;
+                req.src = &v;
+                req.proxy = proxy;
+                req.dstOffset = 0;
+                req.bytes = 1;
+                h.nic0.submitDeliberate(req);
+            });
+            h.sim.run();
+        },
+        "retransmission timeouts");
 }
 
 TEST(Reliability, ZeroRateProtocolIsTransparent)
@@ -503,6 +541,47 @@ TEST(FaultDeterminism, ParallelSweepByteIdenticalUnderFaults)
     EXPECT_EQ(a, b);
     std::remove(serial_path.c_str());
     std::remove(parallel_path.c_str());
+}
+
+TEST(FaultDeterminism, PacketPoolDrainsAtClusterScale)
+{
+    // A full cluster on a lossy backplane: VMMC messages, ACKs/NACKs,
+    // drops and go-back-N retransmissions all draw packet records
+    // from the shared pool; when the run drains, every slot must be
+    // back on the free list (pending deliveries released, retransmit
+    // buffers emptied by the final ACKs).
+    core::ClusterConfig cc;
+    cc.meshWidth = 2;
+    cc.meshHeight = 1;
+    cc.network.fault.dropRate = 0.05;
+    cc.network.fault.seed = 13;
+    core::Cluster c(cc);
+
+    core::ExportId exp = core::kInvalidExport;
+    char *rbuf = nullptr;
+    c.spawnOn(1, "recv", [&] {
+        rbuf = static_cast<char *>(c.node(1).mem().alloc(4096, true));
+        std::memset(rbuf, 0, 4096);
+        exp = c.vmmc(1).exportBuffer(rbuf, 4096);
+        c.vmmc(1).waitUntil([&] { return rbuf[0] == 100; });
+    });
+    c.spawnOn(0, "send", [&] {
+        auto &ep = c.vmmc(0);
+        while (exp == core::kInvalidExport)
+            c.sim().delay(microseconds(10));
+        core::ProxyId p = ep.import(1, exp);
+        for (char i = 1; i <= 100; ++i)
+            ep.send(p, &i, 1, 0);
+        ep.drainSends();
+    });
+    c.run();
+
+    EXPECT_EQ(rbuf[0], 100);
+    auto &stats = c.sim().stats();
+    EXPECT_GT(stats.counterValue("mesh.drops"), 0u);
+    EXPECT_GT(stats.counterValue("mesh.retransmits"), 0u);
+    EXPECT_GT(c.network().pool().capacity(), 0u);
+    EXPECT_EQ(c.network().pool().inUse(), 0u);
 }
 
 TEST(FaultReport, FaultsBlockAppearsOnlyInFaultMode)

@@ -266,3 +266,63 @@ TEST(Network, ManyToOneCongestsEjectionLinks)
     Tick floor = transferTime(60 * kBytes / 2, 200e6);
     EXPECT_GE(last, floor);
 }
+
+// ----------------------------------------------------------------------
+// The packet pool
+// ----------------------------------------------------------------------
+
+TEST(PacketPool, RecyclesSlotsLifo)
+{
+    PacketPool pool;
+    Packet *a = pool.acquire();
+    EXPECT_EQ(pool.inUse(), 1u);
+    pool.release(a);
+    EXPECT_EQ(pool.inUse(), 0u);
+    // The freed slot is the next one handed out: steady-state traffic
+    // keeps touching the same hot records.
+    EXPECT_EQ(pool.acquire(), a);
+    pool.release(a);
+}
+
+TEST(PacketPool, GrowsByWholeSlabsAndKeepsOldSlots)
+{
+    PacketPool pool;
+    std::vector<Packet *> held;
+    for (int i = 0; i < 300; ++i)
+        held.push_back(pool.acquire());
+    EXPECT_EQ(pool.inUse(), 300u);
+    EXPECT_EQ(pool.capacity(), 512u); // two 256-slot slabs
+    // Slabs never move: every pointer handed out stays distinct and
+    // valid across growth.
+    std::vector<Packet *> sorted = held;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end());
+    for (Packet *p : held)
+        pool.release(p);
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.capacity(), 512u);
+}
+
+TEST(PacketPool, ReleaseDropsPayloadReference)
+{
+    PacketPool pool;
+    std::shared_ptr<void> payload =
+        std::make_shared<std::vector<std::uint8_t>>(64);
+    Packet *p = pool.acquire();
+    Packet src;
+    src.payload = payload;
+    *p = src;
+    EXPECT_EQ(payload.use_count(), 3); // local + src + pool slot
+    pool.release(p);
+    src.payload.reset();
+    // The pool does not pin payload memory while a slot sits free.
+    EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(PacketPoolDeathTest, ForeignPointerPanics)
+{
+    PacketPool pool;
+    Packet stray;
+    EXPECT_DEATH(pool.release(&stray), "not from this pool");
+}

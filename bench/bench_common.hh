@@ -29,9 +29,46 @@
 #include "apps/radix.hh"
 #include "apps/render.hh"
 #include "bench/sweep.hh"
+#include "nic/nic_kind.hh"
 
 namespace shrimp::bench
 {
+
+/**
+ * Base cluster config for a bench binary, with the SHRIMP_NIC
+ * environment override (shrimp | baseline | modern) applied — every
+ * table can be re-run on an alternate adapter without new flags.
+ * Benches that compare NICs explicitly set ClusterConfig::nicKind on
+ * their own configs instead, which this helper never touches.
+ */
+inline core::ClusterConfig
+benchCluster()
+{
+    core::ClusterConfig cc;
+    cc.nicKind = nic::nicKindFromEnv(cc.nicKind);
+    return cc;
+}
+
+/**
+ * Capability-adaptive variant selection: the registry runs each app's
+ * best-performing variant *for the configured NIC*. AU-dependent
+ * choices (AURC, AU bulk transfer) degrade to their deliberate-update
+ * equivalents on adapters without automatic update.
+ */
+inline svm::Protocol
+bestProtocol(const core::ClusterConfig &cc)
+{
+    return nic::nicKindCaps(cc.nicKind).autoUpdate
+               ? svm::Protocol::AURC
+               : svm::Protocol::HLRC;
+}
+
+/** AU when the adapter supports it, else deliberate update. */
+inline bool
+bestAu(const core::ClusterConfig &cc)
+{
+    return nic::nicKindCaps(cc.nicKind).autoUpdate;
+}
 
 /** True when SHRIMP_SCALE=full is set. */
 inline bool
@@ -230,42 +267,46 @@ inline std::vector<AppSpec>
 standardApps(int barnes_nx_procs = 16)
 {
     using namespace shrimp::apps;
-    using shrimp::svm::Protocol;
     std::vector<AppSpec> specs;
 
+    // SVM protocols and the AU bulk-transfer variants are selected per
+    // run from the configured NIC's capabilities (bestProtocol/bestAu)
+    // so the same registry covers AU-less adapters.
     specs.push_back(
         {"Barnes-SVM", "SVM", 16,
          [](const core::ClusterConfig &cc) {
-             return runBarnesSvm(cc, Protocol::AURC, 16,
+             return runBarnesSvm(cc, bestProtocol(cc), 16,
                                  barnesSvmConfig());
          },
          [](const core::ClusterConfig &cc, int p) {
-             return runBarnesSvm(cc, Protocol::AURC, p,
+             return runBarnesSvm(cc, bestProtocol(cc), p,
                                  barnesSvmConfig());
          }});
     specs.push_back(
         {"Ocean-SVM", "SVM", 16,
          [](const core::ClusterConfig &cc) {
-             return runOceanSvm(cc, Protocol::AURC, 16, oceanConfig());
+             return runOceanSvm(cc, bestProtocol(cc), 16,
+                                oceanConfig());
          },
          [](const core::ClusterConfig &cc, int p) {
-             return runOceanSvm(cc, Protocol::AURC, p, oceanConfig());
+             return runOceanSvm(cc, bestProtocol(cc), p, oceanConfig());
          }});
     specs.push_back(
         {"Radix-SVM", "SVM", 16,
          [](const core::ClusterConfig &cc) {
-             return runRadixSvm(cc, Protocol::AURC, 16, radixConfig());
+             return runRadixSvm(cc, bestProtocol(cc), 16,
+                                radixConfig());
          },
          [](const core::ClusterConfig &cc, int p) {
-             return runRadixSvm(cc, Protocol::AURC, p, radixConfig());
+             return runRadixSvm(cc, bestProtocol(cc), p, radixConfig());
          }});
     specs.push_back(
         {"Radix-VMMC", "VMMC", 16,
          [](const core::ClusterConfig &cc) {
-             return runRadixVmmc(cc, /*au=*/true, 16, radixConfig());
+             return runRadixVmmc(cc, bestAu(cc), 16, radixConfig());
          },
          [](const core::ClusterConfig &cc, int p) {
-             return runRadixVmmc(cc, true, p, radixConfig());
+             return runRadixVmmc(cc, bestAu(cc), p, radixConfig());
          }});
     specs.push_back(
         {"Barnes-NX", "NX", barnes_nx_procs,
@@ -279,10 +320,10 @@ standardApps(int barnes_nx_procs = 16)
     specs.push_back(
         {"Ocean-NX", "NX", 16,
          [](const core::ClusterConfig &cc) {
-             return runOceanNx(cc, /*au=*/true, 16, oceanConfig());
+             return runOceanNx(cc, bestAu(cc), 16, oceanConfig());
          },
          [](const core::ClusterConfig &cc, int p) {
-             return runOceanNx(cc, true, p, oceanConfig());
+             return runOceanNx(cc, bestAu(cc), p, oceanConfig());
          }});
     specs.push_back(
         {"DFS-sockets", "Sockets", 12,
@@ -298,11 +339,13 @@ standardApps(int barnes_nx_procs = 16)
          nullptr});
 
     // Every registry run feeds the JSONL report sink when enabled,
-    // stamped with its host wall time for the perf-trajectory report.
+    // stamped with its host wall time for the perf-trajectory report
+    // and the NIC kind it ran on (the three-NIC matrix relies on it).
     for (auto &s : specs) {
         auto run = s.run;
         s.run = [run](const core::ClusterConfig &cc) {
             auto r = timedRun([&] { return run(cc); });
+            r.param("nic", nic::nicKindName(cc.nicKind));
             maybeEmitReport(r);
             return r;
         };
@@ -310,6 +353,7 @@ standardApps(int barnes_nx_procs = 16)
             auto run_at = s.runAt;
             s.runAt = [run_at](const core::ClusterConfig &cc, int p) {
                 auto r = timedRun([&] { return run_at(cc, p); });
+                r.param("nic", nic::nicKindName(cc.nicKind));
                 maybeEmitReport(r);
                 return r;
             };

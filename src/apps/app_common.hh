@@ -219,7 +219,8 @@ deadlockedProcesses(core::Cluster &cluster)
     for (auto &n : stuck) {
         if (n.find(".notifier") == std::string::npos &&
             n.find(".du_engine") == std::string::npos &&
-            n.find(".fw_engine") == std::string::npos)
+            n.find(".fw_engine") == std::string::npos &&
+            n.find(".sq_engine") == std::string::npos)
             real.push_back(n);
     }
     return real;

@@ -30,6 +30,16 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
     _network = std::make_unique<mesh::Network>(
         _sim, _config.meshWidth, _config.meshHeight, _config.network);
 
+    if (_config.lifecycleTracing)
+        _lifecycle.enable(_sim.stats());
+
+    // Every NIC kind takes the same construction-time configuration:
+    // reliability tunables plus the lifecycle tracer, wired before
+    // any traffic can flow.
+    nic::Config nic_cfg;
+    nic_cfg.reliability = _config.reliability;
+    nic_cfg.lifecycle = &_lifecycle;
+
     int n = _config.meshWidth * _config.meshHeight;
     nodes.reserve(n);
     nics.reserve(n);
@@ -40,22 +50,20 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
         switch (config.nicKind) {
           case NicKind::Shrimp:
             nics.push_back(std::make_unique<nic::ShrimpNic>(
-                *nodes.back(), *_network, config.shrimpNic));
+                *nodes.back(), *_network, config.shrimpNic, nic_cfg));
             break;
           case NicKind::Baseline:
             nics.push_back(std::make_unique<nic::BaselineNic>(
-                *nodes.back(), *_network, config.baselineNic));
+                *nodes.back(), *_network, config.baselineNic, nic_cfg));
+            break;
+          case NicKind::Modern:
+            nics.push_back(std::make_unique<nic::ModernNic>(
+                *nodes.back(), *_network, config.modernNic, nic_cfg));
             break;
         }
-        nics.back()->setReliabilityParams(_config.reliability);
         endpoints.push_back(std::make_unique<Endpoint>(
             *this, *nodes.back(), *nics.back()));
     }
-
-    if (_config.lifecycleTracing)
-        _lifecycle.enable(_sim.stats());
-    for (auto &np : nics)
-        np->setLifecycle(&_lifecycle);
 
     if (_config.metricsInterval > 0) {
         registerGauges();
@@ -95,6 +103,12 @@ Cluster::registerGauges()
             _sampler.addGauge(nm + ".nic.eisa_util",
                               util(nm + ".nic.eisa_busy_ps"));
         }
+        if (_config.nicKind == NicKind::Modern) {
+            auto *mnic = static_cast<nic::ModernNic *>(
+                nics[np->id()].get());
+            _sampler.addGauge(nm + ".mnic.cq_depth",
+                              [mnic] { return double(mnic->cqDepth()); });
+        }
         if (_network->reliabilityEnabled()) {
             auto *nic = nics[np->id()].get();
             _sampler.addGauge(nm + ".rel.retx_backlog", [nic] {
@@ -114,6 +128,12 @@ Cluster::registerGauges()
 }
 
 Cluster::~Cluster() = default;
+
+nic::NicBase::PeerHealth
+Cluster::peerHealth(int src, int dst) const
+{
+    return nics.at(src)->peerHealth(NodeId(dst));
+}
 
 std::uint64_t
 Cluster::sumNodeCounter(const std::string &suffix)

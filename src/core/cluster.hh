@@ -15,6 +15,8 @@
 
 #include "mesh/network.hh"
 #include "nic/baseline_nic.hh"
+#include "nic/modern_nic.hh"
+#include "nic/nic_kind.hh"
 #include "nic/shrimp_nic.hh"
 #include "node/node.hh"
 #include "sim/lifecycle.hh"
@@ -26,12 +28,8 @@ namespace shrimp::core
 
 class Endpoint;
 
-/** Which network interface the cluster is built with. */
-enum class NicKind
-{
-    Shrimp,   //!< the custom SHRIMP NI (UDMA + automatic update)
-    Baseline, //!< Myrinet-style firmware-mediated adapter (Sec 4.1)
-};
+/** Which network interface the cluster is built with (nic/nic_kind.hh). */
+using NicKind = nic::NicKind;
 
 /** Everything needed to build a cluster. */
 struct ClusterConfig
@@ -45,6 +43,7 @@ struct ClusterConfig
     NicKind nicKind = NicKind::Shrimp;
     nic::ShrimpNicParams shrimpNic;
     nic::BaselineNicParams baselineNic;
+    nic::ModernNicParams modernNic;
 
     /** Reliability-protocol tunables (used only in fault mode). */
     nic::ReliabilityParams reliability;
@@ -125,6 +124,15 @@ class Cluster
 
     /** Aggregate a per-node counter over all nodes ("<node>.X"). */
     std::uint64_t sumNodeCounter(const std::string &suffix);
+
+    /**
+     * In-run peer-health query (ROADMAP): the state of node @p src's
+     * reliability channel toward node @p dst. All-zero outside fault
+     * mode or before any traffic. Sockets/NX use this to detect a
+     * stalled or dead peer instead of scraping "rel.dst<N>.*"
+     * scalars.
+     */
+    nic::NicBase::PeerHealth peerHealth(int src, int dst) const;
 
     /** Time-series sampler (running only when metricsInterval > 0). */
     MetricsSampler &metrics() { return _sampler; }

@@ -23,6 +23,12 @@ Endpoint::Endpoint(Cluster &cluster, node::Node &n, nic::NicBase &nic)
                       n.name() + ".vmmc.notifications")
 {
     _nic.setDeliverHook([this](const nic::Delivery &d) { onDeliver(d); });
+    // A dead peer (fault mode, fatalOnGiveUp off) wakes every blocked
+    // waiter so wait predicates can re-check peer health instead of
+    // sleeping forever.
+    _nic.setPeerDeadHook([this](NodeId) {
+        deliveryWait.wakeAll(_node.simulation());
+    });
 }
 
 ExportId
@@ -175,7 +181,7 @@ Endpoint::unimport(ProxyId p)
 
 void
 Endpoint::send(ProxyId proxy, const void *src, std::size_t bytes,
-               std::size_t dst_offset, bool notify)
+               std::size_t dst_offset, const SendOptions &opts)
 {
     if (proxy >= imports.size())
         fatal("send: bad proxy id %u", proxy);
@@ -206,14 +212,16 @@ Endpoint::send(ProxyId proxy, const void *src, std::size_t bytes,
             std::min<std::size_t>(remaining,
                                   node::kPageBytes - page_off);
 
-        nic::DuRequest req;
+        nic::SendDesc req;
         req.src = s;
         req.proxy = imp.proxyPages[page];
         req.dstOffset = page_off;
         req.bytes = std::uint32_t(chunk);
         req.endOfMessage = (remaining == chunk);
-        req.interruptRequest = notify && req.endOfMessage;
-        _nic.submitDeliberate(req);
+        req.notify = opts.notify && req.endOfMessage;
+        req.urgent = opts.urgent && req.endOfMessage;
+        req.notifyId = req.endOfMessage ? opts.notifyId : 0;
+        _nic.post(req);
 
         s += chunk;
         off += chunk;

@@ -170,6 +170,26 @@ class Endpoint
     // Deliberate update
     // ------------------------------------------------------------------
 
+    /** Per-message options of a send (see the struct members). */
+    struct SendOptions
+    {
+        /** Request a receiver notification on the final packet. */
+        bool notify = false;
+
+        /**
+         * Solicited event (caps().batchedNotify adapters): the
+         * notification bypasses interrupt coalescing.
+         */
+        bool urgent = false;
+
+        /**
+         * Notifiable-write id (caps().batchedNotify adapters): the
+         * final packet bumps the receiver's per-id arrival counter
+         * that notifyWait() blocks on. 0 = none.
+         */
+        std::uint32_t notifyId = 0;
+    };
+
     /**
      * Transfer @p bytes from local memory @p src into the imported
      * buffer @p proxy at @p dst_offset. One VMMC message; split into
@@ -178,8 +198,18 @@ class Endpoint
      *
      * @param notify Set the interrupt-request bit on the final packet.
      */
+    void
+    send(ProxyId proxy, const void *src, std::size_t bytes,
+         std::size_t dst_offset, bool notify = false)
+    {
+        SendOptions opts;
+        opts.notify = notify;
+        send(proxy, src, bytes, dst_offset, opts);
+    }
+
+    /** Send with the full option set. */
     void send(ProxyId proxy, const void *src, std::size_t bytes,
-              std::size_t dst_offset, bool notify = false);
+              std::size_t dst_offset, const SendOptions &opts);
 
     /** Block until all accepted sends have left the adapter. */
     void drainSends() { _nic.drainSends(); }
@@ -187,6 +217,9 @@ class Endpoint
     // ------------------------------------------------------------------
     // Automatic update
     // ------------------------------------------------------------------
+
+    /** What the adapter can do (pick mechanisms from these bits). */
+    nic::NicCaps nicCaps() const { return _nic.caps(); }
 
     /** @return whether the adapter supports automatic update. */
     bool auSupported() const { return _nic.supportsAutomaticUpdate(); }
@@ -263,6 +296,27 @@ class Endpoint
 
     /** Monotone count of deliveries to this node. */
     std::uint64_t deliveries() const { return _deliveries; }
+
+    /**
+     * Arrival count of notifiable writes carrying @p id, and the
+     * user-level wait on it (caps().batchedNotify adapters only; see
+     * NicBase::notifyWait).
+     */
+    std::uint64_t
+    notifyCount(std::uint32_t id) const
+    {
+        return _nic.notifyCount(id);
+    }
+
+    /** Block until notifyCount(@p id) >= @p target. Process context. */
+    void
+    notifyWait(std::uint32_t id, std::uint64_t target)
+    {
+        // Close out pending compute time before blocking, like
+        // waitUntil() does for the polling path.
+        _node.cpu().sync();
+        _nic.notifyWait(id, target);
+    }
 
     /**
      * Make pending computation visible and flush AU trains — call

@@ -119,6 +119,16 @@ NxProcess::numnodes() const
 }
 
 void
+NxProcess::checkPeerAlive(int peer) const
+{
+    if (dom.cluster.peerHealth(rank, peer).gaveUp ||
+        dom.cluster.peerHealth(peer, rank).gaveUp)
+        fatal("NX rank %d: peer %d declared dead "
+              "(link-level retransmission gave up)",
+              rank, peer);
+}
+
+void
 NxProcess::csend(int type, const void *buf, std::size_t len, int to)
 {
     if (to == rank)
@@ -145,7 +155,8 @@ NxProcess::csend(int type, const void *buf, std::size_t len, int to)
     std::size_t need = total + wrap_bytes;
 
     // Flow control: wait for the receiver's credit returns.
-    ep.waitUntil([&out, need, cap] {
+    ep.waitUntil([this, &out, need, cap, to] {
+        checkPeerAlive(to);
         return out.writePos + need - *out.credit <= cap;
     });
 
@@ -299,8 +310,19 @@ NxProcess::crecvProbe(int typesel, int from, void *buf,
             return len;
         }
         std::uint64_t before = ep.deliveries();
-        ep.waitUntil(
-            [&ep, before] { return ep.deliveries() != before; });
+        ep.waitUntil([this, &ep, before, from] {
+            // A receive that names its sender dies as soon as that
+            // peer is declared dead; a wildcard receive dies if any
+            // peer it might be waiting on has.
+            if (from != -1) {
+                checkPeerAlive(from);
+            } else {
+                for (int p = 0; p < dom.config.nprocs; ++p)
+                    if (p != rank)
+                        checkPeerAlive(p);
+            }
+            return ep.deliveries() != before;
+        });
     }
 }
 

@@ -127,6 +127,14 @@ class NxProcess
     bool drainRingFrom(int src);
     void sendCredits(int src);
 
+    /**
+     * Fatal if either direction to @p peer has been declared dead
+     * (Cluster::peerHealth — the link-level retransmission gave up).
+     * Checked from blocking-wait predicates so a stuck csend/crecv
+     * dies with a diagnosis instead of hanging.
+     */
+    void checkPeerAlive(int peer) const;
+
     NxDomain &dom;
     int rank;
     TimeAccount *account = nullptr;

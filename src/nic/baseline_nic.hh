@@ -54,13 +54,15 @@ class BaselineNic : public NicBase
      * @param n Owning node.
      * @param net The backplane.
      * @param params Adapter tunables.
+     * @param cfg Shared construction-time configuration.
      */
     BaselineNic(node::Node &n, mesh::Network &net,
-                const BaselineNicParams &params = BaselineNicParams());
+                const BaselineNicParams &params = BaselineNicParams(),
+                const Config &cfg = {});
 
-    bool supportsAutomaticUpdate() const override { return false; }
+    NicCaps caps() const override { return NicCaps(); }
 
-    void submitDeliberate(const DuRequest &req) override;
+    void post(const SendDesc &req) override;
 
     void drainSends() override;
 

@@ -1,4 +1,4 @@
-#include "nic/baseline_nic.hh"
+#include "nic/modern_nic.hh"
 
 #include <algorithm>
 #include <cstring>
@@ -9,27 +9,31 @@
 namespace shrimp::nic
 {
 
-BaselineNic::BaselineNic(node::Node &n, mesh::Network &net,
-                         const BaselineNicParams &params,
-                         const Config &cfg)
+ModernNic::ModernNic(node::Node &n, mesh::Network &net,
+                     const ModernNicParams &params, const Config &cfg)
     : NicBase(n, net, cfg), sim(n.simulation()), _params(params),
-      statPrefix(n.name() + ".bnic"),
+      statPrefix(n.name() + ".mnic"),
       stSends(sim.stats(), statPrefix + ".sends"),
       stSendBytes(sim.stats(), statPrefix + ".send_bytes"),
       stPacketsIn(sim.stats(), statPrefix + ".packets_in"),
-      stBytesIn(sim.stats(), statPrefix + ".bytes_in")
+      stBytesIn(sim.stats(), statPrefix + ".bytes_in"),
+      stCqInterrupts(sim.stats(), statPrefix + ".cq_interrupts"),
+      stCqEvents(sim.stats(), statPrefix + ".cq_events"),
+      stNotifyWrites(sim.stats(), statPrefix + ".notify_writes")
 {
-    sim.spawn(statPrefix + ".fw_engine", [this] { engineBody(); });
+    sim.spawn(statPrefix + ".sq_engine", [this] { engineBody(); });
 }
 
 void
-BaselineNic::post(const SendDesc &req)
+ModernNic::post(const SendDesc &req)
 {
     auto &cpu = _node.cpu();
     const auto &entry = _opt.proxy(req.proxy);
 
     if (req.dstOffset + req.bytes > node::kPageBytes)
         panic("transfer crosses destination page boundary");
+    if (req.bytes == 0 || req.bytes > node::kPageBytes)
+        panic("posted send size %u invalid", req.bytes);
 
     mesh::PacketLife life;
     if (lifecycle && lifecycle->enabled()) {
@@ -37,7 +41,8 @@ BaselineNic::post(const SendDesc &req)
         life.born = sim.now();
     }
 
-    // Host builds a descriptor and rings the doorbell over the I/O bus.
+    // The whole host-side cost of a send: build the WQE and ring the
+    // doorbell with one user-level MMIO write.
     cpu.compute(_params.doorbellCost);
     cpu.sync();
 
@@ -53,6 +58,7 @@ BaselineNic::post(const SendDesc &req)
     std::memcpy(pkt.data.data(), req.src, req.bytes);
     pkt.notify = req.notify;
     pkt.notifyId = req.notifyId;
+    pkt.urgent = req.urgent;
     pkt.endOfMessage = req.endOfMessage;
     pkt.life = life;
     pkt.life.queued = sim.now(); // after any queue-full wait
@@ -65,7 +71,7 @@ BaselineNic::post(const SendDesc &req)
 }
 
 void
-BaselineNic::engineBody()
+ModernNic::engineBody()
 {
     double link_bw = _net.params().linkBytesPerSec;
 
@@ -80,10 +86,9 @@ BaselineNic::engineBody()
         sendQueueDst.pop_front();
         slotWait.wakeAll(sim);
 
-        // Firmware validates the descriptor and DMAs the data from
-        // host memory into adapter SRAM.
+        // The NIC walks the WQE and DMAs the payload from host memory.
         std::uint64_t bytes = pkt.data.size();
-        sim.delay(_params.firmwareSendCost + _params.dmaSetup +
+        sim.delay(_params.wqeProcessCost + _params.dmaSetup +
                   transferTime(bytes, _params.dmaBytesPerSec));
         _node.bus().reserve(
             transferTime(bytes, _node.params().memBusBytesPerSec));
@@ -111,24 +116,67 @@ BaselineNic::engineBody()
 }
 
 void
-BaselineNic::drainSends()
+ModernNic::drainSends()
 {
     _node.cpu().sync();
     while (!sendQueue.empty() || engineBusy)
         idleWait.wait(sim);
 }
 
+std::uint64_t
+ModernNic::notifyCount(std::uint32_t id) const
+{
+    auto it = notifyStates.find(id);
+    return it == notifyStates.end() ? 0 : it->second.count;
+}
+
 void
-BaselineNic::receive(const mesh::Packet &pkt)
+ModernNic::notifyWait(std::uint32_t id, std::uint64_t target)
+{
+    // A user-level CQ read loop: pending local work must complete
+    // before blocking, but no interrupt or syscall is involved.
+    _node.cpu().sync();
+    NotifyState &ns = notifyStates[id];
+    while (ns.count < target)
+        ns.waiters.wait(sim);
+}
+
+void
+ModernNic::drainCq()
+{
+    cqTimer.cancel();
+    if (cq.empty())
+        return;
+    std::vector<Delivery> batch;
+    batch.swap(cq);
+    stCqInterrupts.inc();
+    stCqEvents.inc(batch.size());
+
+    // One interrupt covers the whole batch; the handler dispatches
+    // every queued completion event when it runs.
+    Tick handler_done = _node.os().interrupt(_params.cqInterruptCost);
+    sim.schedule(handler_done - sim.now(),
+                 [this, batch = std::move(batch)] {
+        for (const Delivery &d : batch) {
+            if (notifyHook)
+                notifyHook(d.frame);
+            if (deliverHook)
+                deliverHook(d);
+        }
+    });
+}
+
+void
+ModernNic::receive(const mesh::Packet &pkt)
 {
     auto payload = std::static_pointer_cast<NicPayload>(pkt.payload);
     auto *du = std::get_if<DuPacket>(&payload->body);
     if (!du)
-        panic("baseline NIC received an automatic-update packet");
+        panic("modern NIC received an automatic-update packet");
 
     std::uint64_t bytes = du->data.size();
     Tick start = std::max(sim.now(), recvBusyUntil);
-    Tick done = start + _params.firmwareRecvCost + _params.dmaSetup +
+    Tick done = start + _params.recvPacketCost + _params.dmaSetup +
                 transferTime(bytes, _params.dmaBytesPerSec);
     recvBusyUntil = done;
     _node.bus().reserve(
@@ -158,13 +206,35 @@ BaselineNic::receive(const mesh::Packet &pkt)
         d.endOfMessage = du2.endOfMessage;
         d.automatic = false;
         d.notifyId = du2.notifyId;
+        d.notify = false;
 
-        d.notify = du2.notify &&
-                   _ipt.interruptEnable(du2.dstFrame);
-        if (d.notify && notifyHook)
-            notifyHook(d.frame);
+        // Notifiable write: bump the id's arrival counter and wake
+        // user-level waiters right away — no interrupt.
+        if (du2.notifyId) {
+            NotifyState &ns = notifyStates[du2.notifyId];
+            ++ns.count;
+            stNotifyWrites.inc();
+            ns.waiters.wakeAll(sim);
+        }
+
+        // Data is in memory now: pollers must see it immediately.
         if (deliverHook)
             deliverHook(d);
+
+        // Interrupt-style notification goes through the CQ and is
+        // coalesced: interrupt on threshold, timeout, or solicited
+        // (urgent) events.
+        if (du2.notify && _ipt.interruptEnable(du2.dstFrame)) {
+            Delivery ev = d;
+            ev.notify = true;
+            cq.push_back(ev);
+            if (int(cq.size()) >= std::max(1, _params.cqThreshold) ||
+                du2.urgent)
+                drainCq();
+            else if (cq.size() == 1)
+                cqTimer = sim.scheduleCancellable(
+                    _params.cqTimeout, [this] { drainCq(); });
+        }
     });
 }
 

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A modern RDMA-style network interface: the third design point the
+ * Table-1 suite is re-litigated against (ROADMAP; modeled after the
+ * UNR/RAMC notifiable-RMA primitives in PAPERS.md).
+ *
+ * Send side: the host posts a work-queue entry with a single
+ * user-level doorbell write (hundreds of nanoseconds, not the
+ * microsecond-class UDMA issue or firmware descriptor cost of the
+ * other adapters) into a deep send queue the NIC drains
+ * asynchronously. Receive side: arriving writes land straight in
+ * memory (pollers see them immediately); notifications are not
+ * per-packet interrupts but completion-queue events with interrupt
+ * coalescing — the host is interrupted when the CQ reaches a
+ * threshold, when a coalescing timer expires, or immediately for
+ * urgent (solicited) packets. Orthogonally, a write may carry a
+ * notification id: the NIC bumps a per-id arrival counter the
+ * receiver can wait on at user level with no interrupt at all
+ * (UNR-style notifiable remote writes).
+ *
+ * There is no memory-bus snooping, hence no automatic update: the
+ * claim this adapter exists to test is that cheap posting plus
+ * batched notification recovers AU's benefits without custom
+ * snooping hardware.
+ */
+
+#ifndef SHRIMP_NIC_MODERN_NIC_HH
+#define SHRIMP_NIC_MODERN_NIC_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "nic/nic_base.hh"
+#include "sim/simulation.hh"
+
+namespace shrimp::nic
+{
+
+/** Tunables of the modern (RDMA-style) adapter. */
+struct ModernNicParams
+{
+    /** Host cost of one posted send: queue entry + doorbell write. */
+    Tick doorbellCost = nanoseconds(300);
+
+    /** Send work-queue depth (posting blocks only when full). */
+    int sendQueueDepth = 256;
+
+    /** NIC processing per work-queue entry (translate, validate). */
+    Tick wqeProcessCost = nanoseconds(500);
+
+    /** Host-memory DMA bandwidth (PCIe-class for the era contrast). */
+    double dmaBytesPerSec = 400.0e6;
+
+    /** DMA setup per burst. */
+    Tick dmaSetup = nanoseconds(200);
+
+    /** Receiver NIC processing per arriving packet. */
+    Tick recvPacketCost = nanoseconds(500);
+
+    /** CQ depth that triggers a coalesced notification interrupt. */
+    int cqThreshold = 8;
+
+    /** Coalescing timer: max latency a queued CQ entry may sit. */
+    Tick cqTimeout = microseconds(20);
+
+    /** Cost of one CQ interrupt + event dispatch, however many CQEs. */
+    Tick cqInterruptCost = microseconds(8);
+};
+
+/**
+ * The modern adapter.
+ */
+class ModernNic : public NicBase
+{
+  public:
+    /**
+     * @param n Owning node.
+     * @param net The backplane.
+     * @param params Adapter tunables.
+     * @param cfg Shared construction-time configuration.
+     */
+    ModernNic(node::Node &n, mesh::Network &net,
+              const ModernNicParams &params = ModernNicParams(),
+              const Config &cfg = {});
+
+    NicCaps
+    caps() const override
+    {
+        NicCaps c;
+        c.doorbell = true;
+        c.batchedNotify = true;
+        return c;
+    }
+
+    void post(const SendDesc &req) override;
+
+    void drainSends() override;
+
+    std::uint64_t notifyCount(std::uint32_t id) const override;
+
+    void notifyWait(std::uint32_t id, std::uint64_t target) override;
+
+    /** Completion-queue entries currently coalescing (gauge). */
+    std::size_t cqDepth() const { return cq.size(); }
+
+    /** Parameters access. */
+    ModernNicParams &params() { return _params; }
+
+  private:
+    /** Arrival counter + waiters of one notification id. */
+    struct NotifyState
+    {
+        std::uint64_t count = 0;
+        WaitQueue waiters;
+    };
+
+    void engineBody();
+    void receive(const mesh::Packet &pkt) override;
+    void drainCq();
+
+    Simulation &sim;
+    ModernNicParams _params;
+    std::string statPrefix;
+
+    // Interned per-NIC statistics (lazy; see sim/stats.hh).
+    CounterHandle stSends;
+    CounterHandle stSendBytes;
+    CounterHandle stPacketsIn;
+    CounterHandle stBytesIn;
+    CounterHandle stCqInterrupts;
+    CounterHandle stCqEvents;
+    CounterHandle stNotifyWrites;
+
+    // Send work queue + drain engine.
+    std::deque<DuPacket> sendQueue;
+    std::deque<NodeId> sendQueueDst;
+    WaitQueue slotWait;
+    WaitQueue workWait;
+    WaitQueue idleWait;
+    bool engineBusy = false;
+
+    // Receive path.
+    Tick recvBusyUntil = 0;
+
+    // Completion queue (deliveries awaiting the coalesced interrupt).
+    std::vector<Delivery> cq;
+    EventHandle cqTimer;
+
+    // Notifiable-write counters, by id.
+    std::unordered_map<std::uint32_t, NotifyState> notifyStates;
+};
+
+} // namespace shrimp::nic
+
+#endif // SHRIMP_NIC_MODERN_NIC_HH

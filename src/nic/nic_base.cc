@@ -9,8 +9,9 @@
 namespace shrimp::nic
 {
 
-NicBase::NicBase(node::Node &n, mesh::Network &net)
-    : _node(n), _net(net), _reliable(net.reliabilityEnabled()),
+NicBase::NicBase(node::Node &n, mesh::Network &net, const Config &cfg)
+    : _node(n), _net(net), lifecycle(cfg.lifecycle),
+      _reliable(net.reliabilityEnabled()), _rel(cfg.reliability),
       stCorruptRx(n.simulation().stats(), "mesh.corrupt_rx"),
       stDupRx(n.simulation().stats(), "mesh.dup_rx"),
       stRetransmits(n.simulation().stats(), "mesh.retransmits"),
@@ -52,6 +53,22 @@ NicBase::auFence()
     auFlush();
 }
 
+std::uint64_t
+NicBase::notifyCount(std::uint32_t) const
+{
+    fatal("%s: this network interface has no batched notification "
+          "support (check caps().batchedNotify before notifyCount)",
+          _node.name().c_str());
+}
+
+void
+NicBase::notifyWait(std::uint32_t, std::uint64_t)
+{
+    fatal("%s: this network interface has no batched notification "
+          "support (check caps().batchedNotify before notifyWait)",
+          _node.name().c_str());
+}
+
 // ----------------------------------------------------------------------
 // Link-level reliability protocol (fault mode only)
 // ----------------------------------------------------------------------
@@ -88,14 +105,14 @@ NicBase::channelFor(NodeId dst)
     return ch;
 }
 
-NicBase::ChannelView
-NicBase::channelView(NodeId dst) const
+NicBase::PeerHealth
+NicBase::peerHealth(NodeId dst) const
 {
     auto it = channels.find(dst);
     if (it == channels.end())
-        return ChannelView();
+        return PeerHealth();
     const RelChannel &ch = it->second;
-    ChannelView v;
+    PeerHealth v;
     v.outstanding = ch.unacked.size();
     v.srtt = ch.srtt;
     v.rttvar = ch.rttvar;
@@ -153,6 +170,11 @@ NicBase::netSend(mesh::Packet pkt)
     }
 
     RelChannel &ch = channelFor(pkt.dst);
+    if (ch.gaveUp) {
+        // The path was declared dead (fatalOnGiveUp off): sends to it
+        // evaporate, like writes into an unplugged cable.
+        return;
+    }
     pkt.kind = mesh::PacketKind::Data;
     pkt.seq = ch.nextSeq++;
     pkt.checksum = mesh::packetChecksum(pkt);
@@ -340,9 +362,23 @@ NicBase::rtoFire(NodeId dst)
     if (++ch.rtoStreak > _rel.rtoGiveUp) {
         ch.gaveUp = true;
         ch.stGaveUp->set(1.0);
-        fatal("%s: %d retransmission timeouts to node %u without "
-              "progress -- link permanently down?",
-              _node.name().c_str(), ch.rtoStreak, dst);
+        if (_rel.fatalOnGiveUp)
+            fatal("%s: %d retransmission timeouts to node %u without "
+                  "progress -- link permanently down?",
+                  _node.name().c_str(), ch.rtoStreak, dst);
+        // Non-fatal death: release the retransmit window (nothing will
+        // ever ACK it), stop the timer, and let blocked upper layers
+        // re-check peerHealth().
+        while (!ch.unacked.empty()) {
+            _net.pool().release(ch.unacked.front());
+            ch.unacked.pop_front();
+            ch.sentAt.pop_front();
+        }
+        ch.stOutstanding->set(0.0);
+        ch.rto.cancel();
+        if (peerDeadHook)
+            peerDeadHook(dst);
+        return;
     }
     ch.rtoNow = std::min(ch.rtoNow * 2, _rel.rtoMax);
     retransmit(ch, dst);

@@ -2,10 +2,20 @@
  * @file
  * Abstract network interface: the contract VMMC (core/) programs to.
  *
- * Two implementations exist: ShrimpNic (the paper's custom hardware,
- * with user-level DMA and automatic update) and BaselineNic (a
+ * Three implementations exist: ShrimpNic (the paper's custom hardware,
+ * with user-level DMA and automatic update), BaselineNic (a
  * Myrinet-style firmware-mediated adapter used for the "did it make
- * sense to build hardware?" comparison, Sec 4.1).
+ * sense to build hardware?" comparison, Sec 4.1) and ModernNic (an
+ * RDMA-style adapter with doorbell send queues, completion queues and
+ * notifiable remote writes, the post-SHRIMP design point).
+ *
+ * The contract is capability-queried: upper layers ask caps() what
+ * the adapter can do (automatic update, doorbell posting, batched
+ * notification) and pick mechanisms from those bits — there is no
+ * dynamic_cast or kind switch anywhere above this interface. Data
+ * moves through post(); receivers poll, take per-page notification
+ * upcalls, or (batchedNotify adapters) wait on notification-id
+ * counters via notifyWait().
  *
  * The base class also owns the link-level reliability protocol used
  * when the mesh fault plane is active (mesh/fault.hh): per-(src,dst)
@@ -26,6 +36,7 @@
 #include <unordered_map>
 
 #include "mesh/network.hh"
+#include "nic/nic_kind.hh"
 #include "nic/packet.hh"
 #include "nic/page_tables.hh"
 #include "node/node.hh"
@@ -62,28 +73,74 @@ struct ReliabilityParams
 
     /**
      * Consecutive timeouts without forward progress before the NIC
-     * declares the path dead (fatal). Bounds simulation time under a
+     * declares the path dead. Bounds simulation time under a
      * permanent outage.
      */
     int rtoGiveUp = 64;
+
+    /**
+     * When true (the default), a give-up kills the run with a fatal
+     * error. When false, the channel is marked dead instead: its
+     * retransmit window is released, later sends to it are dropped,
+     * and upper layers observe the death through peerHealth() — the
+     * basis of application-level failover experiments.
+     */
+    bool fatalOnGiveUp = true;
 
     /** On-wire size of an ACK/NACK packet (header only). */
     std::uint32_t ctrlWireBytes = 16;
 };
 
 /**
- * A deliberate-update transfer request as issued by the VMMC library.
+ * Construction-time configuration shared by every NIC kind: the
+ * cluster passes reliability tunables and its lifecycle tracer here
+ * instead of through post-hoc setters, so a NIC is fully wired the
+ * moment it attaches to the mesh.
+ */
+struct Config
+{
+    /** Reliability-protocol tunables (used only in fault mode). */
+    ReliabilityParams reliability;
+
+    /**
+     * The cluster's packet-lifecycle tracer (may be disabled;
+     * nullptr = none). The NIC stamps and records packets only while
+     * the tracer reports enabled().
+     */
+    LifecycleTracer *lifecycle = nullptr;
+};
+
+/**
+ * A posted send descriptor: one remote write, as issued by the VMMC
+ * library through NicBase::post().
  *
  * Transfers may not cross a page boundary on either side (Sec 4.5.3);
  * the library splits larger sends.
  */
-struct DuRequest
+struct SendDesc
 {
     const void *src = nullptr;      //!< source in the sender's arena/heap
     OptIndex proxy = kInvalidOpt;   //!< destination mapping (OPT entry)
     std::uint32_t dstOffset = 0;    //!< offset within destination page
     std::uint32_t bytes = 0;        //!< transfer size
-    bool interruptRequest = false;  //!< request a receiver notification
+
+    /**
+     * Notifiable-write id (batchedNotify adapters): when non-zero the
+     * receiving NIC bumps the per-id arrival counter that
+     * notifyWait() blocks on. Ignored by adapters without the
+     * capability.
+     */
+    std::uint32_t notifyId = 0;
+
+    bool notify = false;            //!< request a receiver notification
+
+    /**
+     * Solicited-event bit (batchedNotify adapters): a notification
+     * bypasses interrupt coalescing and drains the completion queue
+     * immediately. Ignored elsewhere.
+     */
+    bool urgent = false;
+
     bool endOfMessage = true;       //!< last chunk of a library message
 };
 
@@ -94,6 +151,7 @@ struct Delivery
     node::Frame frame = node::kInvalidFrame;
     std::uint32_t offset = 0;
     std::uint32_t bytes = 0;
+    std::uint32_t notifyId = 0; //!< notifiable-write id, 0 = none
     bool endOfMessage = true;
     bool automatic = false;   //!< automatic-update traffic
     bool notify = false;      //!< notification interrupt fired
@@ -107,14 +165,16 @@ class NicBase
   public:
     using DeliverHook = std::function<void(const Delivery &)>;
     using NotifyHook = std::function<void(node::Frame)>;
+    using PeerDeadHook = std::function<void(NodeId)>;
 
     /**
      * @param n Owning node (the NIC writes arriving data into its
      *          memory and raises interrupts at its OS).
      * @param net The backplane; the NIC attaches itself as the
      *            receiver for the node.
+     * @param cfg Shared construction-time configuration.
      */
-    NicBase(node::Node &n, mesh::Network &net);
+    NicBase(node::Node &n, mesh::Network &net, const Config &cfg = {});
 
     virtual ~NicBase() = default;
 
@@ -127,31 +187,26 @@ class NicBase
     /** Owning node. */
     node::Node &owner() { return _node; }
 
+    /** What this adapter can do; upper layers branch on these bits. */
+    virtual NicCaps caps() const = 0;
+
+    /** Convenience capability read. */
+    bool supportsAutomaticUpdate() const { return caps().autoUpdate; }
+
     /** Is the link-level reliability protocol running? */
     bool reliable() const { return _reliable; }
 
-    /** Override the reliability tunables (before traffic flows). */
-    void setReliabilityParams(const ReliabilityParams &p) { _rel = p; }
-
-    /**
-     * Attach the cluster's packet-lifecycle tracer (may be disabled;
-     * nullptr detaches). The NIC stamps and records packets only
-     * while the tracer reports enabled().
-     */
-    void setLifecycle(LifecycleTracer *t) { lifecycle = t; }
-
     // ------------------------------------------------------------------
-    // Reliability observability (ROADMAP: stall surfacing, adaptive
-    // RTO groundwork)
+    // Peer health (ROADMAP: in-run stall/death surfacing)
     // ------------------------------------------------------------------
 
     /**
      * Read-only snapshot of one sender-side reliability channel, so
-     * upper layers (sockets/NX) can observe a stalled destination
-     * without reaching into protocol internals. Mirrored as
-     * "<node>.rel.dst<D>.*" scalars in the StatsRegistry.
+     * upper layers (sockets/NX, via Cluster::peerHealth) can observe
+     * a stalled or dead destination without scraping the
+     * "<node>.rel.dst<D>.*" scalars the same fields are mirrored as.
      */
-    struct ChannelView
+    struct PeerHealth
     {
         std::uint64_t outstanding = 0; //!< unacked packets in flight
         Tick srtt = 0;            //!< smoothed ACK round-trip, 0 = none
@@ -162,10 +217,17 @@ class NicBase
     };
 
     /** Channel state toward @p dst (all-zero if never used). */
-    ChannelView channelView(NodeId dst) const;
+    PeerHealth peerHealth(NodeId dst) const;
 
     /** Total unacked packets across channels (sampler gauge). */
     std::size_t retransmitBacklog() const;
+
+    /**
+     * Hook invoked (event context) when a channel gives up with
+     * fatalOnGiveUp off, so blocked processes can re-check their
+     * peer's health instead of sleeping forever.
+     */
+    void setPeerDeadHook(PeerDeadHook h) { peerDeadHook = std::move(h); }
 
     // ------------------------------------------------------------------
     // Mapping setup (driven by the VMMC system layer)
@@ -188,12 +250,10 @@ class NicBase
         _ipt.setInterruptEnable(frame, enable);
     }
 
-    /** @return whether the adapter supports automatic update. */
-    virtual bool supportsAutomaticUpdate() const = 0;
-
     /**
      * Bind local physical page @p local for automatic update to
-     * (@p dst_node, @p dst_frame). Only on adapters that support AU.
+     * (@p dst_node, @p dst_frame). Only on adapters with
+     * caps().autoUpdate.
      */
     virtual void
     bindAu(node::Frame local, NodeId dst_node, node::Frame dst_frame,
@@ -207,11 +267,13 @@ class NicBase
     // ------------------------------------------------------------------
 
     /**
-     * Submit a deliberate-update transfer. Process context; blocks
-     * while the adapter's request queue is full. Returns once the
-     * request is accepted (sends are asynchronous).
+     * Post a send. Process context; blocks while the adapter's
+     * request queue is full. Returns once the request is accepted
+     * (sends are asynchronous). On doorbell adapters acceptance is a
+     * cheap user-level MMIO write; elsewhere it carries the
+     * adapter's per-send initiation cost.
      */
-    virtual void submitDeliberate(const DuRequest &req) = 0;
+    virtual void post(const SendDesc &desc) = 0;
 
     /**
      * A write to AU-bound memory, as snooped off the memory bus.
@@ -232,7 +294,7 @@ class NicBase
      */
     virtual void auFence();
 
-    /** Block until all submitted deliberate transfers have left. */
+    /** Block until all posted sends have left the adapter. */
     virtual void drainSends() = 0;
 
     // ------------------------------------------------------------------
@@ -245,12 +307,26 @@ class NicBase
     /** Hook invoked when a notification interrupt fires. */
     void setNotifyHook(NotifyHook h) { notifyHook = std::move(h); }
 
+    /**
+     * Arrival count of notifiable writes carrying @p id (0 if none
+     * ever landed). Only on adapters with caps().batchedNotify.
+     */
+    virtual std::uint64_t notifyCount(std::uint32_t id) const;
+
+    /**
+     * Block until notifyCount(@p id) >= @p target: a user-level
+     * completion-queue wait, no interrupt involved. Process context.
+     * Only on adapters with caps().batchedNotify.
+     */
+    virtual void notifyWait(std::uint32_t id, std::uint64_t target);
+
   protected:
     /**
      * Inject @p pkt into the backplane. With reliability on, stamps
      * the per-destination sequence number and checksum, keeps a copy
      * in the retransmit buffer and arms the retransmission timer;
-     * with it off, forwards straight to the mesh.
+     * with it off, forwards straight to the mesh. Sends to a dead
+     * (gaveUp) channel are dropped.
      */
     void netSend(mesh::Packet pkt);
 
@@ -266,6 +342,7 @@ class NicBase
     IncomingPageTable _ipt;
     DeliverHook deliverHook;
     NotifyHook notifyHook;
+    PeerDeadHook peerDeadHook;
 
     /** Cluster lifecycle tracer; nullptr or disabled = no stamping. */
     LifecycleTracer *lifecycle = nullptr;
@@ -292,7 +369,7 @@ class NicBase
         Tick srtt = 0;             //!< smoothed ACK round-trip
         Tick rttvar = 0;           //!< round-trip variation (RFC6298)
         Tick lastRtoFire = kTickNever; //!< last timeout fire time
-        bool gaveUp = false;       //!< fatal give-up reached
+        bool gaveUp = false;       //!< give-up reached
         std::uint64_t retxMaxSeq = 0; //!< highest seq ever resent
         Scalar *stOutstanding = nullptr; //!< ".outstanding" gauge
         Scalar *stSrttUs = nullptr;      //!< ".srtt_us" gauge

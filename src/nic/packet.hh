@@ -39,7 +39,9 @@ struct DuPacket
     node::Frame dstFrame = node::kInvalidFrame;
     std::uint32_t dstOffset = 0;
     std::vector<char> data;
-    bool interruptRequest = false;  //!< sender's per-transfer bit
+    std::uint32_t notifyId = 0;     //!< notifiable-write id, 0 = none
+    bool notify = false;            //!< sender's per-transfer bit
+    bool urgent = false;            //!< solicited event: skip coalescing
     bool endOfMessage = true;       //!< last packet of a library message
 
     /**

@@ -26,8 +26,8 @@ auStorePackets(std::uint32_t bytes)
 } // anonymous namespace
 
 ShrimpNic::ShrimpNic(node::Node &n, mesh::Network &net,
-                     const ShrimpNicParams &params)
-    : NicBase(n, net), sim(n.simulation()), _params(params),
+                     const ShrimpNicParams &params, const Config &cfg)
+    : NicBase(n, net, cfg), sim(n.simulation()), _params(params),
       statPrefix(n.name() + ".nic"),
       stDuTransfers(sim.stats(), statPrefix + ".du_transfers"),
       stDuBytes(sim.stats(), statPrefix + ".du_bytes"),
@@ -73,7 +73,7 @@ ShrimpNic::unbindAu(node::Frame local)
 }
 
 void
-ShrimpNic::submitDeliberate(const DuRequest &req)
+ShrimpNic::post(const SendDesc &req)
 {
     auto &cpu = _node.cpu();
     const auto &entry = _opt.proxy(req.proxy);
@@ -107,7 +107,8 @@ ShrimpNic::submitDeliberate(const DuRequest &req)
     pkt.dstOffset = req.dstOffset;
     pkt.data.resize(req.bytes);
     std::memcpy(pkt.data.data(), req.src, req.bytes);
-    pkt.interruptRequest = req.interruptRequest;
+    pkt.notify = req.notify;
+    pkt.notifyId = req.notifyId;
     pkt.endOfMessage = req.endOfMessage;
     pkt.life = life;
     pkt.life.queued = sim.now(); // after any queue-full wait
@@ -469,7 +470,8 @@ ShrimpNic::receive(const mesh::Packet &pkt)
             d.bytes = std::uint32_t(du->data.size());
             d.endOfMessage = du->endOfMessage;
             d.automatic = false;
-            want_notify = du->interruptRequest &&
+            d.notifyId = du->notifyId;
+            want_notify = du->notify &&
                           _ipt.interruptEnable(du->dstFrame);
         } else {
             auto &au = std::get<AuTrainPacket>(payload->body);

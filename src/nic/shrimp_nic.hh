@@ -89,18 +89,26 @@ class ShrimpNic : public NicBase
      * @param net The backplane; the NIC attaches itself as the
      *            receiver for the node.
      * @param params NIC tunables.
+     * @param cfg Shared construction-time configuration.
      */
     ShrimpNic(node::Node &n, mesh::Network &net,
-              const ShrimpNicParams &params = ShrimpNicParams());
+              const ShrimpNicParams &params = ShrimpNicParams(),
+              const Config &cfg = {});
 
-    bool supportsAutomaticUpdate() const override { return true; }
+    NicCaps
+    caps() const override
+    {
+        NicCaps c;
+        c.autoUpdate = true;
+        return c;
+    }
 
     void bindAu(node::Frame local, NodeId dst_node, node::Frame dst_frame,
                 bool combining, bool interrupt_request) override;
 
     void unbindAu(node::Frame local) override;
 
-    void submitDeliberate(const DuRequest &req) override;
+    void post(const SendDesc &req) override;
 
     void auStore(const void *src, std::uint32_t bytes) override;
 

@@ -39,6 +39,11 @@ struct RunReport
      *    stats block gained the "scalars" sub-object, and runs with
      *    packet lifecycle tracing enabled carry a
      *    "latency_breakdown" block (see sim/lifecycle.hh).
+     *
+     *    Note (no layout change): since the three-NIC redesign,
+     *    shrimp_run reports always carry a "cli_nic" param
+     *    ("shrimp"|"baseline"|"modern"); it used to appear only on
+     *    baseline runs.
      */
     static constexpr int kSchemaVersion = 3;
 

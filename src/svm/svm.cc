@@ -58,6 +58,15 @@ constexpr std::size_t kCtlRegionBytes = 128 * 1024;
 constexpr std::size_t kMaxCtlBytes = node::kPageBytes;
 constexpr std::size_t kMaxCtlPayload = kMaxCtlBytes - sizeof(CtlHeader);
 
+/**
+ * Notification ids (caps().batchedNotify adapters). The fetch-stamp
+ * reply and the per-home diff acks bump arrival counters on the
+ * requester/releaser NIC; the blocked fiber waits on the counter
+ * instead of polling a control-page scalar.
+ */
+constexpr std::uint32_t kNotifyFetch = 1;
+constexpr std::uint32_t kNotifyDiffAckBase = 0x100;
+
 } // anonymous namespace
 
 const char *
@@ -176,6 +185,8 @@ SvmRuntime::SvmRuntime(core::Cluster &cluster, const SvmConfig &config)
         fatal("SvmRuntime: nprocs exceeds control-page capacity");
     if (cfg.heapBytes % node::kPageBytes != 0)
         fatal("SvmRuntime: heap must be a page multiple");
+
+    useNotify = cluster.vmmc(0).nicCaps().batchedNotify;
 
     pageCount = PageId(cfg.heapBytes / node::kPageBytes);
     homes.resize(pageCount);
@@ -543,8 +554,15 @@ SvmRuntime::fetchPage(int rank, PageId page)
     sendCtl(rank, home, &h, sizeof(h));
 
     Tick fetch_start = cluster.sim().now();
-    volatile std::uint64_t *fs = &rs.ctl->fetchStamp;
-    ep.waitUntil([fs, stamp] { return *fs >= stamp; });
+    if (useNotify) {
+        // The stamp reply carries kNotifyFetch; stamps are sequential
+        // with exactly one reply each, so the arrival counter equals
+        // the latest stamp written.
+        ep.notifyWait(kNotifyFetch, stamp);
+    } else {
+        volatile std::uint64_t *fs = &rs.ctl->fetchStamp;
+        ep.waitUntil([fs, stamp] { return *fs >= stamp; });
+    }
 
     if (trace_json::enabled())
         trace_json::completeEvent(
@@ -688,9 +706,14 @@ SvmRuntime::flushPendingDiffs(int rank)
     for (int h = 0; h < cfg.nprocs; ++h) {
         if (rs.diffsSentTo[h] == 0 || h == rank)
             continue;
-        volatile std::uint64_t *ack = &rs.ctl->acks[h];
         std::uint64_t need = rs.diffsSentTo[h];
-        ep.waitUntil([ack, need] { return *ack >= need; });
+        if (useNotify) {
+            // One ack arrival per diff message applied at home h.
+            ep.notifyWait(kNotifyDiffAckBase + std::uint32_t(h), need);
+        } else {
+            volatile std::uint64_t *ack = &rs.ctl->acks[h];
+            ep.waitUntil([ack, need] { return *ack >= need; });
+        }
     }
 }
 
@@ -1048,7 +1071,13 @@ SvmRuntime::sendCtl(int rank, int to, const void *msg, std::size_t bytes,
     core::ProxyId proxy = proxy_override != core::kInvalidProxy
                               ? proxy_override
                               : rs.reqProxy[to];
-    ep.send(proxy, stamped.data(), bytes, offset, /*notify=*/true);
+    core::Endpoint::SendOptions opts;
+    opts.notify = true;
+    // Control messages gate protocol progress: on coalescing adapters
+    // they are marked solicited so the completion queue drains (and
+    // the dispatcher runs) immediately instead of at the next batch.
+    opts.urgent = useNotify;
+    ep.send(proxy, stamped.data(), bytes, offset, opts);
     rs.stCtlMsgs.inc();
 }
 
@@ -1083,8 +1112,10 @@ SvmRuntime::handleCtl(int rank, NodeId src, std::uint32_t offset,
         ep.send(rs.heapProxy[requester], home_page, node::kPageBytes,
                 std::size_t(page) * node::kPageBytes);
         std::uint64_t stamp = h.arg1;
+        core::Endpoint::SendOptions sopts;
+        sopts.notifyId = useNotify ? kNotifyFetch : 0;
         ep.send(rs.ctlProxy[requester], &stamp, sizeof(stamp),
-                offsetof(RankState::NodeCtl, fetchStamp));
+                offsetof(RankState::NodeCtl, fetchStamp), sopts);
         break;
       }
       case kDiff: {
@@ -1098,9 +1129,12 @@ SvmRuntime::handleCtl(int rank, NodeId src, std::uint32_t offset,
         applyDiffBlob(home_page, payload, h.payloadBytes);
         ++rs.diffsAppliedFrom[releaser];
         std::uint64_t ack = rs.diffsAppliedFrom[releaser];
+        core::Endpoint::SendOptions sopts;
+        sopts.notifyId =
+            useNotify ? kNotifyDiffAckBase + std::uint32_t(rank) : 0;
         ep.send(rs.ctlProxy[releaser], &ack, sizeof(ack),
                 offsetof(RankState::NodeCtl, acks) +
-                    std::size_t(rank) * sizeof(std::uint64_t));
+                    std::size_t(rank) * sizeof(std::uint64_t), sopts);
         break;
       }
       case kLockReq: {

@@ -261,6 +261,15 @@ class SvmRuntime
     core::Cluster &cluster;
     SvmConfig cfg;
 
+    /**
+     * NIC-capability driven (nic::NicCaps::batchedNotify): when the
+     * adapter keeps per-id arrival counters, the page-fetch stamp and
+     * diff acks are awaited through notifyWait() instead of polling
+     * control-page scalars; control sends are marked urgent so they
+     * bypass completion-queue coalescing.
+     */
+    bool useNotify = false;
+
     // Shared heap replicas; canonical addresses point into replica 0.
     std::vector<char *> replicas;
     std::size_t heapUsed = 0;

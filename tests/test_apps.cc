@@ -250,3 +250,106 @@ TEST(Render, MoreWorkersFinishFaster)
     auto w8 = runRender(smallCluster(), cfg);
     EXPECT_LT(w8.elapsed, w2.elapsed);
 }
+
+// ---------------------------------------------------------------------
+// Three-NIC parity matrix
+// ---------------------------------------------------------------------
+//
+// The redesigned NIC contract promises that apps written against the
+// capability-queried Endpoint API compute the same answer on every
+// adapter — SHRIMP, the Myrinet-style baseline, and the RDMA-style
+// modern NIC — with or without the fault plane underneath. Timing
+// differs; checksums must not.
+
+namespace
+{
+
+constexpr core::NicKind kAllNics[3] = {
+    core::NicKind::Shrimp,
+    core::NicKind::Baseline,
+    core::NicKind::Modern,
+};
+
+core::ClusterConfig
+withNic(core::NicKind kind, bool faultPlane)
+{
+    core::ClusterConfig cc = smallCluster();
+    cc.nicKind = kind;
+    if (faultPlane) {
+        cc.network.fault.dropRate = 0.002;
+        cc.network.fault.seed = 11;
+    }
+    return cc;
+}
+
+/** Run @p body over the 2 (fault) x 3 (NIC) grid, assert one answer. */
+template <typename Fn>
+void
+expectParity(Fn body)
+{
+    for (bool faultPlane : {false, true}) {
+        std::uint64_t want = 0;
+        for (core::NicKind kind : kAllNics) {
+            std::uint64_t got = body(withNic(kind, faultPlane));
+            if (kind == core::NicKind::Shrimp)
+                want = got;
+            EXPECT_EQ(got, want)
+                << "nic=" << int(kind) << " fault=" << faultPlane;
+        }
+    }
+}
+
+} // anonymous namespace
+
+TEST(NicParity, RadixSvmHlrc)
+{
+    expectParity([](const core::ClusterConfig &cc) {
+        return runRadixSvm(cc, Protocol::HLRC, 4, smallRadix())
+            .checksum;
+    });
+}
+
+TEST(NicParity, RadixVmmcDeliberateUpdate)
+{
+    expectParity([](const core::ClusterConfig &cc) {
+        return runRadixVmmc(cc, false, 4, smallRadix()).checksum;
+    });
+}
+
+TEST(NicParity, OceanNxDeliberateUpdate)
+{
+    expectParity([](const core::ClusterConfig &cc) {
+        return runOceanNx(cc, false, 4, smallOcean()).checksum;
+    });
+}
+
+TEST(NicParity, BarnesNx)
+{
+    expectParity([](const core::ClusterConfig &cc) {
+        return runBarnesNx(cc, false, 2, smallBarnes()).checksum;
+    });
+}
+
+TEST(NicParity, DfsSockets)
+{
+    expectParity([](const core::ClusterConfig &cc) {
+        DfsConfig cfg;
+        cfg.servers = 4;
+        cfg.clients = 2;
+        cfg.filesPerClient = 2;
+        cfg.blocksPerFile = 16;
+        return runDfs(cc, cfg).checksum;
+    });
+}
+
+TEST(NicParity, RenderSockets)
+{
+    expectParity([](const core::ClusterConfig &cc) {
+        RenderConfig cfg;
+        cfg.workers = 4;
+        cfg.imageSize = 128;
+        cfg.tileSize = 32;
+        cfg.volumeBytes = 128 * 1024;
+        return runRender(cc, cfg).checksum;
+    });
+}

@@ -27,6 +27,7 @@
 #include "mesh/network.hh"
 #include "nic/shrimp_nic.hh"
 #include "node/node.hh"
+#include "sockets/socket.hh"
 
 using namespace shrimp;
 using namespace shrimp::mesh;
@@ -307,12 +308,12 @@ TEST(Reliability, ExactlyOnceInOrderUnderHeavyLoss)
     h.sim.spawn("send", [&] {
         for (int i = 0; i < kSends; ++i) {
             unsigned char v = (unsigned char)(i + 1);
-            nic::DuRequest req;
+            nic::SendDesc req;
             req.src = &v;
             req.proxy = proxy;
             req.dstOffset = std::uint32_t(i);
             req.bytes = 1;
-            h.nic0.submitDeliberate(req);
+            h.nic0.post(req);
         }
         h.nic0.drainSends();
     });
@@ -353,12 +354,12 @@ TEST(Reliability, CorruptedPacketsAreDroppedAndResent)
     h.sim.spawn("send", [&] {
         for (int i = 0; i < 30; ++i) {
             char v = char(i);
-            nic::DuRequest req;
+            nic::SendDesc req;
             req.src = &v;
             req.proxy = proxy;
             req.dstOffset = std::uint32_t(i);
             req.bytes = 1;
-            h.nic0.submitDeliberate(req);
+            h.nic0.post(req);
         }
         h.nic0.drainSends();
     });
@@ -390,12 +391,12 @@ TEST(Reliability, GiveUpOnDeadPathIsFatal)
                 h.nic0.importPage(1, h.n1.mem().frameOf(dst));
             h.sim.spawn("send", [&] {
                 char v = 1;
-                nic::DuRequest req;
+                nic::SendDesc req;
                 req.src = &v;
                 req.proxy = proxy;
                 req.dstOffset = 0;
                 req.bytes = 1;
-                h.nic0.submitDeliberate(req);
+                h.nic0.post(req);
             });
             h.sim.run();
         },
@@ -418,12 +419,12 @@ TEST(Reliability, ZeroRateProtocolIsTransparent)
 
     h.sim.spawn("send", [&] {
         char v = 42;
-        nic::DuRequest req;
+        nic::SendDesc req;
         req.src = &v;
         req.proxy = proxy;
         req.dstOffset = 0;
         req.bytes = 1;
-        h.nic0.submitDeliberate(req);
+        h.nic0.post(req);
         h.nic0.drainSends();
     });
     h.sim.run();
@@ -594,4 +595,100 @@ TEST(FaultReport, FaultsBlockAppearsOnlyInFaultMode)
     apps::AppResult clean = lossyRadix(0.0, 5);
     std::string cj = apps::makeReport(clean).toJson();
     EXPECT_EQ(cj.find("\"faults\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Peer health: non-fatal give-up and its consumers
+// ----------------------------------------------------------------------
+
+TEST(PeerHealth, NonFatalGiveUpMarksChannelDeadAndCompletes)
+{
+    // Same dead path as GiveUpOnDeadPathIsFatal, but with
+    // fatalOnGiveUp off the run terminates, the channel is flagged,
+    // and the peer-dead hook fires — the basis for the upper layers'
+    // diagnosis instead of a simulator abort.
+    FaultParams f;
+    f.dropRate = 1.0;
+    f.seed = 1;
+    Simulation sim;
+    Network net(sim, 2, 1,
+                [&f] {
+                    NetworkParams p;
+                    p.fault = f;
+                    return p;
+                }());
+    node::Node n0(sim, 0, node::MachineParams(), 1 << 22);
+    node::Node n1(sim, 1, node::MachineParams(), 1 << 22);
+    nic::Config cfg;
+    cfg.reliability.fatalOnGiveUp = false;
+    nic::ShrimpNic nic0(n0, net, nic::ShrimpNicParams(), cfg);
+    nic::ShrimpNic nic1(n1, net, nic::ShrimpNicParams(), cfg);
+
+    NodeId dead_peer = kInvalidNode;
+    nic0.setPeerDeadHook([&](NodeId d) { dead_peer = d; });
+
+    char *dst = static_cast<char *>(n1.mem().alloc(4096, true));
+    std::memset(dst, 0, 4096);
+    nic::OptIndex proxy = nic0.importPage(1, n1.mem().frameOf(dst));
+    sim.spawn("send", [&] {
+        char v = 1;
+        nic::SendDesc req;
+        req.src = &v;
+        req.proxy = proxy;
+        req.dstOffset = 0;
+        req.bytes = 1;
+        nic0.post(req);
+    });
+    sim.run(); // must terminate: no infinite retransmission
+
+    EXPECT_EQ(dead_peer, NodeId(1));
+    nic::NicBase::PeerHealth ph = nic0.peerHealth(NodeId(1));
+    EXPECT_TRUE(ph.gaveUp);
+    EXPECT_EQ(ph.outstanding, 0u); // unacked state was released
+    EXPECT_GT(ph.rtoStreak, 0);
+    EXPECT_EQ(sim.stats().scalarValue("node0.rel.dst1.gave_up"), 1.0);
+}
+
+TEST(PeerHealth, ClusterSurfacesHealthyChannelState)
+{
+    core::ClusterConfig cc;
+    cc.meshWidth = 2;
+    cc.meshHeight = 1;
+    core::Cluster cluster(cc);
+    nic::NicBase::PeerHealth ph = cluster.peerHealth(0, 1);
+    EXPECT_FALSE(ph.gaveUp);
+    EXPECT_EQ(ph.outstanding, 0u);
+    EXPECT_EQ(ph.rtoStreak, 0);
+}
+
+TEST(PeerHealth, DeadPeerKillsBlockedSocketSend)
+{
+    // A socket blocked on ring credits from a peer whose path died
+    // must fatal with a diagnosis, not sleep forever.
+    EXPECT_DEATH(
+        {
+            core::ClusterConfig cc;
+            cc.meshWidth = 2;
+            cc.meshHeight = 1;
+            cc.network.fault.dropRate = 1.0;
+            cc.network.fault.seed = 1;
+            cc.reliability.fatalOnGiveUp = false;
+            core::Cluster cluster(cc);
+            sock::SocketConfig scfg;
+            scfg.bufBytes = node::kPageBytes;
+            sock::SocketDomain dom(cluster, scfg);
+            sock::Socket *a = nullptr;
+            cluster.sim().spawn("listener", [&] {
+                a = dom.accept(0, 5);
+                char buf[16];
+                a->recv(buf, sizeof(buf));
+            });
+            cluster.sim().spawn("connector", [&] {
+                sock::Socket *b = dom.connect(1, 0, 5);
+                std::vector<char> big(4 * node::kPageBytes, 'x');
+                b->send(big.data(), big.size());
+            });
+            cluster.sim().run();
+        },
+        "peer declared dead");
 }

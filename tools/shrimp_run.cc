@@ -28,6 +28,7 @@
 #include "apps/ocean.hh"
 #include "apps/radix.hh"
 #include "apps/render.hh"
+#include "nic/nic_kind.hh"
 #include "sim/run_report.hh"
 #include "sim/trace_json.hh"
 
@@ -62,8 +63,10 @@ usage(const char *argv0)
         "  --steps N          iterations/timesteps\n"
         "  --seed N           workload seed\n"
         "\n"
-        "what-if knobs (Sec 4):\n"
-        "  --nic baseline     Myrinet-style adapter instead of SHRIMP\n"
+        "what-if knobs (Sec 4 + the modern design point):\n"
+        "  --nic KIND         shrimp (default) | baseline (Myrinet-\n"
+        "                     style) | modern (RDMA-style: doorbells,\n"
+        "                     completion queues, notifiable writes)\n"
         "  --no-udma          system call before every send (Table 2)\n"
         "  --interrupt-per-message   forced interrupts (Table 4)\n"
         "  --no-combining     disable AU combining (Sec 4.5.1)\n"
@@ -101,6 +104,7 @@ struct Options
     std::string app;
     int procs = 16;
     Protocol protocol = Protocol::AURC;
+    bool protocolGiven = false; //!< --protocol appeared explicitly
     bool useAu = true;
     bool auGiven = false; //!< --au/--du appeared on the command line
     std::size_t keys = 262144;
@@ -151,6 +155,7 @@ Options::parse(int argc, char **argv)
         } else if (a == "--procs") {
             o.procs = std::atoi(need(i));
         } else if (a == "--protocol") {
+            o.protocolGiven = true;
             std::string p = need(i);
             if (p == "hlrc")
                 o.protocol = Protocol::HLRC;
@@ -180,12 +185,12 @@ Options::parse(int argc, char **argv)
         } else if (a == "--seed") {
             o.seed = std::strtoull(need(i), nullptr, 10);
         } else if (a == "--nic") {
-            std::string n = need(i);
-            if (n == "baseline")
-                o.cluster.nicKind = core::NicKind::Baseline;
-            else if (n != "shrimp") {
-                std::fprintf(stderr, "%s: unknown nic '%s'\n", argv[0],
-                             n.c_str());
+            const char *n = need(i);
+            if (!nic::parseNicKind(n, o.cluster.nicKind)) {
+                std::fprintf(stderr,
+                             "%s: unknown nic '%s' (want "
+                             "shrimp|baseline|modern)\n",
+                             argv[0], n);
                 usage(argv[0]);
             }
         } else if (a == "--no-udma") {
@@ -310,6 +315,17 @@ main(int argc, char **argv)
     if ((o.app == "dfs" || o.app == "render") && !o.auGiven)
         o.useAu = false;
 
+    // Capability-adaptive defaults: on a NIC without automatic
+    // update, the AU-defaulting paths fall back to DU/HLRC unless
+    // forced explicitly (an explicit --au or AU protocol still fatals
+    // downstream with a capability diagnosis).
+    if (!nic::nicKindCaps(o.cluster.nicKind).autoUpdate) {
+        if (!o.auGiven)
+            o.useAu = false;
+        if (!o.protocolGiven)
+            o.protocol = Protocol::HLRC;
+    }
+
     // --metrics alone implies the default sampling cadence.
     if (!o.metricsFile.empty() && o.cluster.metricsInterval == 0)
         o.cluster.metricsInterval = microseconds(10);
@@ -350,8 +366,10 @@ main(int argc, char **argv)
         // CLI knobs ride along so the report identifies the exact run.
         r.param("cli_app", o.app);
         r.param("cli_procs", o.procs);
-        if (o.cluster.nicKind == core::NicKind::Baseline)
-            r.param("cli_nic", "baseline");
+        // Always identify the adapter (report schema note: cli_nic is
+        // unconditional since the three-NIC redesign; it used to be
+        // emitted only for baseline runs).
+        r.param("cli_nic", nic::nicKindName(o.cluster.nicKind));
         if (!o.cluster.udmaSends)
             r.param("cli_no_udma", "1");
         const auto &f = o.cluster.network.fault;

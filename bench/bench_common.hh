@@ -46,6 +46,10 @@ benchCluster()
 {
     core::ClusterConfig cc;
     cc.nicKind = nic::nicKindFromEnv(cc.nicKind);
+    // Intra-run parallelism rides along the same way: SHRIMP_THREADS
+    // re-runs any table multi-threaded (bit-identical results; only
+    // host wall time changes, and only for partition-safe workloads).
+    cc.threads = core::threadsFromEnv(cc.threads);
     return cc;
 }
 
@@ -212,6 +216,10 @@ maybeEmitReport(const apps::AppResult &r)
     if (!path || !*path)
         return;
     RunReport rep = apps::makeReport(r);
+    // Identify multi-threaded runs in the JSONL stream; serial runs
+    // stay byte-identical to reports from before the knob existed.
+    if (int threads = core::threadsFromEnv(1); threads > 1)
+        rep.params["threads"] = std::to_string(threads);
     if (reportHostPerf()) {
         rep.host.enabled = true;
         rep.host.wallSeconds = r.hostWallSeconds;

@@ -89,6 +89,25 @@ metricsSink()
 thread_local std::vector<std::string> *tl_report_buffer = nullptr;
 thread_local std::vector<std::string> *tl_metrics_buffer = nullptr;
 
+/**
+ * Sweeps in flight. While nonzero, only sweep worker threads (which
+ * carry per-job buffers) may emit: a direct append from any other
+ * thread would interleave with the submission-ordered flush and break
+ * the SHRIMP_JOBS=1 vs =N byte-identity guarantee, so it panics
+ * instead of corrupting the file quietly.
+ */
+std::atomic<int> g_sweepsActive{0};
+
+void
+assertSinkOwnership(const char *what)
+{
+    if (g_sweepsActive.load(std::memory_order_relaxed) > 0)
+        panic("%s from a thread that is not a sweep worker while a "
+              "sweep is running; emit from the job itself (the sink's "
+              "flush ordering assumes one writer per path)",
+              what);
+}
+
 } // anonymous namespace
 
 int
@@ -111,10 +130,12 @@ emitReport(const RunReport &report)
         return;
     std::string line = report.toJson(/*pretty=*/false);
     line += '\n';
-    if (tl_report_buffer)
+    if (tl_report_buffer) {
         tl_report_buffer->push_back(std::move(line));
-    else
+    } else {
+        assertSinkOwnership("emitReport");
         sink.append(line);
+    }
 }
 
 void
@@ -123,10 +144,12 @@ emitMetrics(const std::string &chunk)
     LineSink &sink = metricsSink();
     if (!sink.enabled())
         return;
-    if (tl_metrics_buffer)
+    if (tl_metrics_buffer) {
         tl_metrics_buffer->push_back(chunk);
-    else
+    } else {
+        assertSinkOwnership("emitMetrics");
         sink.append(chunk);
+    }
 }
 
 namespace detail
@@ -156,6 +179,8 @@ runJobs(std::size_t count, const std::function<void(std::size_t)> &run_one)
     if (trace_json::enabled())
         workers = 1;
 
+    g_sweepsActive.fetch_add(1, std::memory_order_relaxed);
+
     if (workers <= 1) {
         for (std::size_t i = 0; i < count; ++i)
             run_buffered(i);
@@ -177,6 +202,8 @@ runJobs(std::size_t count, const std::function<void(std::size_t)> &run_one)
         for (auto &t : pool)
             t.join();
     }
+
+    g_sweepsActive.fetch_sub(1, std::memory_order_relaxed);
 
     // Submission-ordered flush: byte-identical serial vs parallel.
     for (auto &buf : buffers)

@@ -98,7 +98,7 @@ inline void
 captureStats(AppResult &result, core::Cluster &cluster)
 {
     result.stats = cluster.sim().stats();
-    result.hostEvents = cluster.sim().events().executed();
+    result.hostEvents = cluster.sim().executedEvents();
     result.metrics = cluster.metrics().series();
     result.metricsInterval = cluster.config().metricsInterval;
 }

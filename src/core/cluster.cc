@@ -9,6 +9,19 @@
 namespace shrimp::core
 {
 
+int
+threadsFromEnv(int fallback)
+{
+    int t = fallback;
+    if (const char *e = std::getenv("SHRIMP_THREADS"); e && *e)
+        t = std::atoi(e);
+    if (t < 1)
+        t = 1;
+    if (t > 16)
+        t = 16;
+    return t;
+}
+
 Cluster::Cluster(const ClusterConfig &config) : _config(config)
 {
     trace_json::openFromEnv();
@@ -27,6 +40,13 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
         _config.metricsInterval = microseconds(std::atof(e));
     if (_config.metricsInterval == 0 && std::getenv("SHRIMP_METRICS"))
         _config.metricsInterval = microseconds(10);
+    // SHRIMP_THREADS layers onto the *default* only: a config that
+    // names a thread count explicitly (in-process serial-vs-parallel
+    // comparisons, the parallel benchmarks) keeps it.
+    if (_config.threads <= 1)
+        _config.threads = threadsFromEnv(1);
+    else if (_config.threads > 16)
+        _config.threads = 16;
     _network = std::make_unique<mesh::Network>(
         _sim, _config.meshWidth, _config.meshHeight, _config.network);
 
@@ -45,6 +65,9 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
     nics.reserve(n);
     endpoints.reserve(n);
     for (int i = 0; i < n; ++i) {
+        // Anything a node's hardware models spawn (now or lazily,
+        // mid-run) belongs to the node's partition.
+        _sim.setSpawnDomainHint(domainForNode(i));
         nodes.push_back(std::make_unique<node::Node>(
             _sim, NodeId(i), config.machine, config.nodeMemBytes));
         switch (config.nicKind) {
@@ -64,6 +87,7 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
         endpoints.push_back(std::make_unique<Endpoint>(
             *this, *nodes.back(), *nics.back()));
     }
+    _sim.setSpawnDomainHint(-1);
 
     if (_config.metricsInterval > 0) {
         registerGauges();
@@ -124,10 +148,47 @@ Cluster::registerGauges()
         return double(_network->busyLinkCount(_sim.now()));
     });
     _sampler.addGauge("sim.event_queue",
-                      [this] { return double(_sim.events().size()); });
+                      [this] { return double(_sim.pendingEvents()); });
 }
 
 Cluster::~Cluster() = default;
+
+bool
+Cluster::parallelArmed() const
+{
+    // Tracing modes interleave their output with execution order, so
+    // they pin the run to the serial path; eligibility is the
+    // workload's own declaration that its host memory traffic is
+    // partition-safe.
+    return _config.threads > 1 && _parallelEligible &&
+           !trace_json::enabled() && !_config.lifecycleTracing;
+}
+
+void
+Cluster::run()
+{
+    if (!parallelArmed()) {
+        _sim.run();
+        return;
+    }
+    _sim.configureParallel(_config.threads);
+    ParallelEngine *eng = _sim.parallel();
+    std::vector<EventQueue *> queues(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        queues[i] = eng->queueForDomain(domainForNode(int(i)));
+    _network->setParallel(eng, std::move(queues));
+    _network->pool().setShared(true);
+    // Conservative lookahead: every cross-node packet pays the
+    // injection transceiver plus at least one hop before it can touch
+    // another partition (serialization adds strictly more, loopback
+    // stays node-local and costs even more), so events less than L
+    // apart on different partitions cannot affect each other.
+    Tick lookahead =
+        _config.network.transceiverLatency + _config.network.hopLatency;
+    _sim.runParallel(lookahead);
+    _network->setParallel(nullptr, {});
+    _network->pool().setShared(false);
+}
 
 nic::NicBase::PeerHealth
 Cluster::peerHealth(int src, int dst) const

@@ -28,6 +28,14 @@ namespace shrimp::core
 
 class Endpoint;
 
+/**
+ * SHRIMP_THREADS resolved against a programmatic default: the
+ * environment overrides @p fallback, and the result is clamped to
+ * [1, 16]. Shared by Cluster construction and the bench harness so
+ * both report the thread count the run actually used.
+ */
+int threadsFromEnv(int fallback);
+
 /** Which network interface the cluster is built with (nic/nic_kind.hh). */
 using NicKind = nic::NicKind;
 
@@ -77,6 +85,16 @@ struct ClusterConfig
      * Also settable via SHRIMP_LIFECYCLE=1.
      */
     bool lifecycleTracing = false;
+
+    /**
+     * Worker threads for intra-run parallelism (sim/parallel.hh).
+     * Node i belongs to partition i % threads. Takes effect only for
+     * workloads that declare themselves partition-safe (see
+     * Cluster::setParallelEligible); results are bit-identical to
+     * threads = 1. Also settable via SHRIMP_THREADS (clamped to
+     * [1, 16]).
+     */
+    int threads = 1;
 };
 
 /**
@@ -116,11 +134,32 @@ class Cluster
     Process *
     spawnOn(int i, const std::string &name, std::function<void()> body)
     {
-        return node(i).spawnProcess(name, std::move(body));
+        _sim.setSpawnDomainHint(domainForNode(i));
+        Process *p = node(i).spawnProcess(name, std::move(body));
+        _sim.setSpawnDomainHint(-1);
+        return p;
+    }
+
+    /**
+     * Declare the current workload safe to partition: all cross-rank
+     * host-memory traffic is either mesh-mediated or bracketed by a
+     * HostRendezvous. Off by default — unknown workloads run serial
+     * regardless of the threads knob.
+     */
+    void setParallelEligible(bool v) { _parallelEligible = v; }
+
+    /** Will run() use the parallel engine? */
+    bool parallelArmed() const;
+
+    /** Partition owning node @p i (-1 when running serial). */
+    int
+    domainForNode(int i) const
+    {
+        return _config.threads > 1 ? i % _config.threads : -1;
     }
 
     /** Run the simulation until the event queue drains. */
-    void run() { _sim.run(); }
+    void run();
 
     /** Aggregate a per-node counter over all nodes ("<node>.X"). */
     std::uint64_t sumNodeCounter(const std::string &suffix);
@@ -154,6 +193,7 @@ class Cluster
     std::vector<std::unique_ptr<Endpoint>> endpoints;
     LifecycleTracer _lifecycle;
     MetricsSampler _sampler;
+    bool _parallelEligible = false;
 };
 
 } // namespace shrimp::core

@@ -82,6 +82,16 @@ struct Packet
     std::shared_ptr<void> payload;
 
     /**
+     * Parallel-engine hint: the receive handler has same-tick side
+     * effects on the *sender's* node (an AU train's applied callback
+     * releasing the sender's fence), so under intra-run parallelism
+     * the delivery must execute at a global serial point rather than
+     * inside the destination partition's lookahead window. Ignored
+     * (harmless) in serial runs.
+     */
+    bool serialDelivery = false;
+
+    /**
      * Lifecycle stamps (flight recorder). Not covered by
      * packetChecksum: the stamps are observability metadata, not
      * protocol state, so corrupting them is meaningless.

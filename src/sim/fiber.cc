@@ -4,6 +4,19 @@
 
 #include "sim/logging.hh"
 
+#if defined(SHRIMP_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#define TSAN_FIBER_CREATE() __tsan_create_fiber(0)
+#define TSAN_FIBER_DESTROY(f) __tsan_destroy_fiber(f)
+#define TSAN_FIBER_CURRENT() __tsan_get_current_fiber()
+#define TSAN_FIBER_SWITCH(f) __tsan_switch_to_fiber(f, 0)
+#else
+#define TSAN_FIBER_CREATE() nullptr
+#define TSAN_FIBER_DESTROY(f) (void)(f)
+#define TSAN_FIBER_CURRENT() nullptr
+#define TSAN_FIBER_SWITCH(f) (void)(f)
+#endif
+
 namespace shrimp
 {
 
@@ -24,12 +37,15 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     unsigned lo = unsigned(self & 0xffffffffu);
     makecontext(&fiberCtx, reinterpret_cast<void (*)()>(trampoline),
                 2, hi, lo);
+    tsanFiber = TSAN_FIBER_CREATE();
 }
 
 Fiber::~Fiber()
 {
     if (running)
         panic("destroying a fiber that is still running");
+    if (tsanFiber)
+        TSAN_FIBER_DESTROY(tsanFiber);
 }
 
 void
@@ -46,8 +62,9 @@ Fiber::run()
     body();
     _finished = true;
     running = false;
-    current_fiber = nullptr;
+    setCurrentFiber(nullptr);
     // Return to whoever resumed us; this context is never re-entered.
+    TSAN_FIBER_SWITCH(tsanReturn);
     swapcontext(&fiberCtx, &schedulerCtx);
     panic("finished fiber resumed");
 }
@@ -57,22 +74,25 @@ Fiber::resume()
 {
     if (_finished)
         panic("resuming a finished fiber");
-    if (current_fiber)
+    if (currentFiber())
         panic("resume must be called from the scheduler context");
-    current_fiber = this;
+    setCurrentFiber(this);
     running = true;
+    tsanReturn = TSAN_FIBER_CURRENT();
+    TSAN_FIBER_SWITCH(tsanFiber);
     swapcontext(&schedulerCtx, &fiberCtx);
 }
 
 void
 Fiber::yield()
 {
-    if (current_fiber != this)
+    if (currentFiber() != this)
         panic("yield called from outside the fiber");
-    current_fiber = nullptr;
+    setCurrentFiber(nullptr);
     running = false;
+    TSAN_FIBER_SWITCH(tsanReturn);
     swapcontext(&fiberCtx, &schedulerCtx);
-    current_fiber = this;
+    setCurrentFiber(this);
     running = true;
 }
 

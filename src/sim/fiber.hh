@@ -18,6 +18,23 @@
 #include <memory>
 #include <vector>
 
+// ThreadSanitizer needs to be told about user-level context switches,
+// or it misattributes every fiber's stack accesses to whichever thread
+// happens to host it (fibers migrate across engine worker threads).
+#if defined(__SANITIZE_THREAD__)
+#define SHRIMP_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SHRIMP_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(SHRIMP_TSAN_FIBERS)
+#define SHRIMP_FIBER_NO_TSAN __attribute__((no_sanitize("thread"), noinline))
+#else
+#define SHRIMP_FIBER_NO_TSAN
+#endif
+
 namespace shrimp
 {
 
@@ -59,9 +76,29 @@ class Fiber
     bool finished() const { return _finished; }
 
     /** @return the fiber currently executing, or nullptr. */
-    static Fiber *current() { return current_fiber; }
+    static Fiber *current() { return currentFiber(); }
 
   private:
+    /*
+     * current_fiber is a per-OS-thread scheduling pointer; like any
+     * thread-local it cannot race — only the owning thread touches
+     * its slot, and fiber-vs-host interleaving on one thread is
+     * sequential. TSan models fibers as threads of their own, so it
+     * sees those accesses as cross-thread; exempt them (same
+     * treatment as execContext() in sim/event_queue.hh).
+     */
+    SHRIMP_FIBER_NO_TSAN static Fiber *
+    currentFiber()
+    {
+        return current_fiber;
+    }
+
+    SHRIMP_FIBER_NO_TSAN static void
+    setCurrentFiber(Fiber *f)
+    {
+        current_fiber = f;
+    }
+
     static void trampoline(unsigned hi, unsigned lo);
 
     void run();
@@ -72,6 +109,12 @@ class Fiber
     ucontext_t schedulerCtx;
     bool _finished = false;
     bool running = false;
+
+    // TSan fiber contexts: this fiber's, and the hosting thread's at
+    // the current resume (captured per resume — the host can differ
+    // each time). Unused (null) outside TSan builds.
+    void *tsanFiber = nullptr;
+    void *tsanReturn = nullptr;
 
     static thread_local Fiber *current_fiber;
 };

@@ -1,0 +1,321 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace shrimp
+{
+
+ParallelEngine::ParallelEngine(Simulation &sim, int partitions) : sim(sim)
+{
+    if (partitions < 1)
+        panic("ParallelEngine needs at least one partition");
+    shards.reserve(partitions);
+    for (int i = 0; i < partitions; ++i)
+        shards.push_back(std::make_unique<Shard>());
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    if (_running)
+        panic("ParallelEngine destroyed while running");
+}
+
+EventQueue *
+ParallelEngine::queueForDomain(int d)
+{
+    if (d < 0)
+        return &sim.events();
+    if (d >= int(shards.size()))
+        panic("domain %d out of range (%zu partitions)", d,
+              shards.size());
+    return &shards[d]->q;
+}
+
+void
+ParallelEngine::deferOp(DeferClient *client, std::uint64_t token)
+{
+    ExecContext *c = execContext();
+    if (!c || c->engine != this || !c->window)
+        panic("deferOp outside a parallel window");
+    Shard &s = *shards[c->domainIdx];
+    s.defers.push_back(Deferred{client, token, c->timeQueue->now(),
+                                execKeyA(c->cursor), c->cursor.callIdx++});
+}
+
+std::size_t
+ParallelEngine::pendingEvents() const
+{
+    std::size_t n = sim.events().size();
+    for (const auto &s : shards)
+        n += s->q.size();
+    return n;
+}
+
+std::uint64_t
+ParallelEngine::executedEvents() const
+{
+    std::uint64_t n = sim.events().executed();
+    for (const auto &s : shards)
+        n += s->q.executed();
+    return n;
+}
+
+void
+ParallelEngine::runShardWindow(int shard)
+{
+    Shard &s = *shards[shard];
+    s.ctx = ExecContext{};
+    s.ctx.sim = &sim;
+    s.ctx.engine = this;
+    s.ctx.timeQueue = &s.q;
+    s.ctx.targetQueue = &s.q;
+    s.ctx.domainIdx = shard;
+    s.ctx.window = true;
+    setExecContext(&s.ctx);
+    s.q.runWindow(_windowEnd, s.log, s.ctx.cursor);
+    setExecContext(nullptr);
+}
+
+void
+ParallelEngine::workerLoop(int shard)
+{
+    Simulation::beginEngineThread(&sim);
+    for (;;) {
+        gate->arrive_and_wait();
+        if (_exit)
+            break;
+        runShardWindow(shard);
+        gate->arrive_and_wait();
+    }
+    Simulation::endEngineThread(&sim);
+}
+
+void
+ParallelEngine::mergeLogs()
+{
+    const int P = partitions();
+    bool any = false;
+    for (const auto &s : shards)
+        any = any || !s->log.empty();
+    if (!any)
+        return;
+
+    for (auto &s : shards)
+        s->rankOf.assign(s->log.size(), 0);
+
+    // K-way merge of the per-partition execution logs by resolved
+    // key. A provisional parent always appears earlier in the same
+    // partition's log than its children, so resolution never looks
+    // ahead. The merge order is exactly the order serial execution
+    // would have popped these events, so rank == serial execution
+    // index.
+    std::vector<std::size_t> pos(P, 0);
+    for (;;) {
+        int bestP = -1;
+        OrderKey bestK{};
+        for (int p = 0; p < P; ++p) {
+            Shard &s = *shards[p];
+            if (pos[p] >= s.log.size())
+                continue;
+            OrderKey k = s.log[pos[p]];
+            if (k.a & EventQueue::kProvisionalBit)
+                k.a = s.rankOf[k.a & ~EventQueue::kProvisionalBit];
+            if (bestP < 0 || k < bestK) {
+                bestP = p;
+                bestK = k;
+            }
+        }
+        if (bestP < 0)
+            break;
+        shards[bestP]->rankOf[pos[bestP]] = _rank++;
+        ++pos[bestP];
+    }
+
+    // Patch pending heap entries and deferred sends to their final
+    // ranks; the local-index -> rank map is monotone, so heap order
+    // is preserved in place.
+    for (auto &sp : shards) {
+        Shard &s = *sp;
+        s.q.patchProvisional(
+            [&s](std::uint64_t idx) { return s.rankOf[idx]; });
+        for (Deferred &d : s.defers) {
+            if (d.a & EventQueue::kProvisionalBit)
+                d.a = s.rankOf[d.a & ~EventQueue::kProvisionalBit];
+        }
+        s.log.clear();
+        s.q.resetWindowExec();
+    }
+}
+
+void
+ParallelEngine::walkDefers()
+{
+    walkScratch.clear();
+    for (auto &s : shards) {
+        walkScratch.insert(walkScratch.end(), s->defers.begin(),
+                           s->defers.end());
+        s->defers.clear();
+    }
+    if (walkScratch.empty())
+        return;
+    // Keys are unique per (parent, call); the sort reproduces the
+    // serial order of the originating schedule calls, so the mesh
+    // replays link arbitration, fault crossings and delivery times
+    // exactly as a serial run would.
+    std::sort(walkScratch.begin(), walkScratch.end(),
+              [](const Deferred &x, const Deferred &y) {
+                  if (x.when != y.when)
+                      return x.when < y.when;
+                  return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
+    DeferClient *seen[8] = {};
+    std::size_t nSeen = 0;
+    for (const Deferred &d : walkScratch) {
+        d.client->runDeferred(d.token, d.when, d.a, d.b);
+        bool found = false;
+        for (std::size_t i = 0; i < nSeen; ++i)
+            found = found || seen[i] == d.client;
+        if (!found && nSeen < 8)
+            seen[nSeen++] = d.client;
+    }
+    for (std::size_t i = 0; i < nSeen; ++i)
+        seen[i]->deferredDrained();
+}
+
+bool
+ParallelEngine::serialStep()
+{
+    EventQueue *best = nullptr;
+    int bestDomain = -2;
+    OrderKey bestK{};
+    OrderKey k;
+    if (sim.events().peekKey(k)) {
+        best = &sim.events();
+        bestDomain = -1;
+        bestK = k;
+    }
+    for (int p = 0; p < partitions(); ++p) {
+        if (shards[p]->q.peekKey(k) && (!best || k < bestK)) {
+            best = &shards[p]->q;
+            bestDomain = p;
+            bestK = k;
+        }
+    }
+    if (!best)
+        return false;
+    ExecContext ctx;
+    ctx.sim = &sim;
+    ctx.engine = this;
+    ctx.timeQueue = best;
+    ctx.targetQueue = best;
+    ctx.domainIdx = bestDomain;
+    ctx.window = false;
+    setExecContext(&ctx);
+    if (best->stepSerial(ctx.cursor, _rank))
+        ++_rank;
+    setExecContext(nullptr);
+    return true;
+}
+
+void
+ParallelEngine::run(Tick lookahead)
+{
+    if (_running)
+        panic("ParallelEngine::run re-entered");
+    if (lookahead == 0)
+        panic("ParallelEngine::run needs a positive lookahead");
+    _running = true;
+    _exit = false;
+    _rank = sim.events().seqCursor();
+
+    const int P = partitions();
+    gate = std::make_unique<std::barrier<>>(P);
+    workers.reserve(P - 1);
+    for (int i = 1; i < P; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+
+    EventQueue &mainQ = sim.events();
+    for (;;) {
+        OrderKey k;
+        Tick mainWhen = kTickNever;
+        if (mainQ.peekKey(k))
+            mainWhen = k.when;
+        Tick minWhen = mainWhen;
+        for (const auto &s : shards) {
+            if (s->q.peekKey(k) && k.when < minWhen)
+                minWhen = k.when;
+        }
+        if (minWhen == kTickNever)
+            break;
+
+        // Serial step whenever a main-queue (global-domain) event is
+        // at the global minimum tick — gauges must observe exactly
+        // the serial state — or host code demands serial execution.
+        if (sim.serialDemand() > 0 || mainWhen == minWhen) {
+            mergeLogs();
+            serialStep();
+            continue;
+        }
+
+        Tick end = minWhen + lookahead;
+        if (mainWhen < end)
+            end = mainWhen;
+        _windowEnd = end;
+        gate->arrive_and_wait();
+        runShardWindow(0);
+        gate->arrive_and_wait();
+
+        bool sends = false;
+        for (const auto &s : shards)
+            sends = sends || !s->defers.empty();
+        if (sends) {
+            mergeLogs();
+            walkDefers();
+        }
+    }
+    mergeLogs();
+
+    _exit = true;
+    gate->arrive_and_wait();
+    for (auto &w : workers)
+        w.join();
+    workers.clear();
+    gate.reset();
+
+    sim.events().seqCursorResume(_rank);
+    _running = false;
+}
+
+HostRendezvous::HostRendezvous(Simulation &sim, bool raised) : sim(sim)
+{
+    if (raised)
+        raise();
+}
+
+HostRendezvous::~HostRendezvous()
+{
+    release();
+}
+
+void
+HostRendezvous::raise()
+{
+    if (_raised)
+        return;
+    _raised = true;
+    sim.raiseSerialDemand();
+}
+
+void
+HostRendezvous::release()
+{
+    if (!_raised)
+        return;
+    _raised = false;
+    sim.dropSerialDemand();
+}
+
+} // namespace shrimp

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Conservative-lookahead parallel discrete-event engine.
+ *
+ * One Simulation run is partitioned across a pool of worker threads:
+ * each partition owns a local EventQueue (with its own slab pool) and
+ * advances through lookahead windows [T, T + L) bounded by the
+ * minimum cross-partition interaction latency L (one mesh hop plus
+ * the transceiver latency — every cross-node packet pays at least
+ * that before it can touch another partition). Partitions synchronize
+ * on epoch barriers; cross-partition effects (mesh sends) are
+ * deferred during windows and replayed serially at the barrier, in
+ * the exact order serial execution would have produced them.
+ *
+ * Determinism is the design center, not an afterthought. Serial
+ * execution orders same-tick events by scheduling sequence number;
+ * that order is isomorphic to (parent execution index, schedule-call
+ * index) lexicographic order. The engine therefore keys every event
+ * (when, a, b) where `a` is the global execution rank of the
+ * scheduling event and `b` the schedule-call index within it. During
+ * a window a partition cannot know global ranks yet, so children
+ * carry a provisional per-partition execution index (kProvisionalBit
+ * set) which sorts after every resolved rank — correct, because the
+ * parent's eventual rank exceeds every rank assigned so far, and the
+ * local index order equals the eventual rank order within the
+ * partition. At each barrier the per-partition execution logs are
+ * k-way merged by resolved key, assigning ranks in exactly the order
+ * serial execution would have popped the events, and pending
+ * provisional keys are patched in place (the map is monotone, so the
+ * heap property survives).
+ *
+ * Events in the main queue (domain -1: metrics samplers, spawn
+ * resumes, anything not owned by a node) always execute serially:
+ * whenever the main queue's next tick equals the global minimum, the
+ * engine runs one global-minimum event at a time instead of opening a
+ * window. Host-visible cross-partition state (rendezvous flags used
+ * by collective/mailbox init) is bracketed the same way via
+ * Simulation::raiseSerialDemand (see HostRendezvous): while demand is
+ * held the engine stays serial, which makes those accesses both
+ * deterministic and race-free.
+ */
+
+#ifndef SHRIMP_SIM_PARALLEL_HH
+#define SHRIMP_SIM_PARALLEL_HH
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace shrimp
+{
+
+class Simulation;
+
+/**
+ * The per-run parallel engine. Owned by Simulation; armed by the
+ * Cluster when threads > 1 and the workload has declared itself
+ * partition-safe. run() drains every queue, then hands the sequence
+ * cursor back to the main queue so later serial scheduling keeps the
+ * total order consistent.
+ */
+class ParallelEngine
+{
+  public:
+    /**
+     * A subsystem whose cross-partition side effects are deferred
+     * during windows and replayed serially at barriers (the mesh).
+     */
+    class DeferClient
+    {
+      public:
+        virtual ~DeferClient() = default;
+
+        /**
+         * Replay one deferred operation. @p when is the simulated
+         * time the operation was issued; (@p a, @p b) is the
+         * resolved serial key of the issuing schedule slot, which
+         * the client must use for any event it schedules so the
+         * total order matches serial execution.
+         */
+        virtual void runDeferred(std::uint64_t token, Tick when,
+                                 std::uint64_t a, std::uint32_t b) = 0;
+
+        /** All tokens recorded so far have been replayed. */
+        virtual void deferredDrained() = 0;
+    };
+
+    ParallelEngine(Simulation &sim, int partitions);
+    ~ParallelEngine();
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    int partitions() const { return int(shards.size()); }
+
+    /** Queue owning domain @p d; d < 0 is the main (serial) queue. */
+    EventQueue *queueForDomain(int d);
+
+    /** Drain every queue, windows bounded by @p lookahead ticks. */
+    void run(Tick lookahead);
+
+    /** True while run() is on the stack. */
+    bool running() const { return _running; }
+
+    /**
+     * True when the calling thread is inside a parallel window of
+     * this engine — the signal for DeferClients to defer.
+     */
+    bool
+    inWindow() const
+    {
+        ExecContext *c = execContext();
+        return c && c->engine == this && c->window;
+    }
+
+    /**
+     * Record a deferred operation from inside a window. Captures the
+     * issuing event's (provisional) key and consumes a schedule-call
+     * index, so the replay order — and the key of anything the
+     * client schedules during replay — is exactly serial.
+     */
+    void deferOp(DeferClient *client, std::uint64_t token);
+
+    /** Pending events over the main queue and every partition. */
+    std::size_t pendingEvents() const;
+
+    /** Executed events over the main queue and every partition. */
+    std::uint64_t executedEvents() const;
+
+  private:
+    struct Deferred
+    {
+        DeferClient *client;
+        std::uint64_t token;
+        Tick when;
+        std::uint64_t a;
+        std::uint32_t b;
+    };
+
+    /** One partition: queue, logs, and the thread's context. */
+    struct Shard
+    {
+        EventQueue q;
+        std::vector<OrderKey> log;         //!< executed, unmerged
+        std::vector<Deferred> defers;      //!< deferred, unreplayed
+        std::vector<std::uint64_t> rankOf; //!< local index -> rank
+        ExecContext ctx;
+        std::size_t merged = 0; //!< log entries consumed by merge
+    };
+
+    void mergeLogs();
+    void walkDefers();
+    bool serialStep();
+    void workerLoop(int shard);
+    void runShardWindow(int shard);
+
+    Simulation &sim;
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<std::thread> workers;
+    std::unique_ptr<std::barrier<>> gate;
+    std::vector<Deferred> walkScratch;
+
+    Tick _windowEnd = 0;
+    std::uint64_t _rank = 0;
+    bool _running = false;
+    bool _exit = false;
+};
+
+/**
+ * RAII serial-demand bracket. While any HostRendezvous is raised the
+ * engine executes events one at a time in global order, so
+ * cross-partition host state (init rendezvous flags, cluster-wide
+ * counter snapshots) behaves exactly as in serial execution. A raise
+ * takes effect at the next epoch barrier — at most one lookahead
+ * window (~100 ns simulated) later — so callers must raise at least
+ * one mesh interaction before the unsafe access; in practice every
+ * bracketed path starts with a multi-microsecond pin/syscall cost or
+ * a mesh barrier, which dwarfs the window.
+ *
+ * No-op (a pair of relaxed atomic bumps) when the engine is off.
+ */
+class HostRendezvous
+{
+  public:
+    explicit HostRendezvous(Simulation &sim, bool raised = true);
+    ~HostRendezvous();
+
+    HostRendezvous(const HostRendezvous &) = delete;
+    HostRendezvous &operator=(const HostRendezvous &) = delete;
+
+    /** Raise demand (idempotent). */
+    void raise();
+
+    /** Drop demand (idempotent). */
+    void release();
+
+  private:
+    Simulation &sim;
+    bool _raised = false;
+};
+
+} // namespace shrimp
+
+#endif // SHRIMP_SIM_PARALLEL_HH

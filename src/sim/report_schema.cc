@@ -171,8 +171,22 @@ validateReport(const JsonValue &doc, std::string *err)
                         err))
         return false;
 
-    if (!require(doc, "params", JsonValue::Kind::Object, err))
+    const JsonValue *params =
+        require(doc, "params", JsonValue::Kind::Object, err);
+    if (!params)
         return false;
+    // Params are free-form strings, but the ones tools consume get
+    // shape checks. 'threads' (intra-run parallelism) must be a
+    // positive decimal integer when present.
+    if (const JsonValue *threads = params->find("threads")) {
+        bool ok = threads->isString() && !threads->str.empty() &&
+                  threads->str.find_first_not_of("0123456789") ==
+                      std::string::npos &&
+                  threads->str != "0";
+        if (!ok)
+            return failWith(err, "params.threads is not a positive "
+                                 "integer");
+    }
 
     const JsonValue *tb = require(doc, "time_breakdown_ps",
                                   JsonValue::Kind::Object, err);

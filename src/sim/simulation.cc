@@ -1,6 +1,7 @@
 #include "sim/simulation.hh"
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/trace_json.hh"
 
 namespace shrimp
@@ -72,6 +73,75 @@ Simulation::currentOrNull()
     return live_simulations.empty() ? nullptr : live_simulations.back();
 }
 
+void
+Simulation::beginEngineThread(Simulation *sim)
+{
+    live_simulations.push_back(sim);
+}
+
+void
+Simulation::endEngineThread(Simulation *sim)
+{
+    if (live_simulations.empty() || live_simulations.back() != sim)
+        warn("engine thread exiting with a foreign simulation stack");
+    else
+        live_simulations.pop_back();
+}
+
+void
+Simulation::configureParallel(int partitions)
+{
+    if (_parallel && _parallel->partitions() == partitions)
+        return;
+    if (_parallel && _parallel->running())
+        panic("reconfiguring the parallel engine while it is running");
+    _parallel = std::make_unique<ParallelEngine>(*this, partitions);
+}
+
+void
+Simulation::runParallel(Tick lookahead)
+{
+    if (!_parallel)
+        panic("runParallel without configureParallel");
+    _parallel->run(lookahead);
+}
+
+std::size_t
+Simulation::pendingEvents() const
+{
+    if (_parallel)
+        return _parallel->pendingEvents();
+    return queue.size();
+}
+
+std::uint64_t
+Simulation::executedEvents() const
+{
+    if (_parallel)
+        return _parallel->executedEvents();
+    return queue.executed();
+}
+
+EventQueue *
+Simulation::engineQueueForDomain(int domain)
+{
+    if (!_parallel || domain < 0)
+        return &queue;
+    return _parallel->queueForDomain(domain);
+}
+
+void
+Simulation::setCurrent(Process *p)
+{
+    ExecContext *c = execContext();
+    if (c && c->sim == this) {
+        c->process = p;
+        c->processTarget = p ? engineQueueForDomain(p->_domain) : nullptr;
+        return;
+    }
+    _current = p;
+}
+
 std::vector<std::string>
 Simulation::unfinishedProcesses() const
 {
@@ -90,11 +160,21 @@ Simulation::spawn(std::string name, std::function<void()> body,
     auto proc = std::unique_ptr<Process>(
         new Process(*this, std::move(name), std::move(body), stack_bytes));
     Process *p = proc.get();
-    processes.push_back(std::move(proc));
+    {
+        // Mid-run spawns (NIC service engines starting lazily) can
+        // land on worker threads; the table itself is cold.
+        std::lock_guard<std::mutex> lock(_processMutex);
+        processes.push_back(std::move(proc));
+    }
+    ExecContext *c = execContext();
+    if (c && c->sim == this)
+        p->_domain = c->process ? c->process->_domain : c->domainIdx;
+    else
+        p->_domain = _spawnDomainHint;
     p->traceSpawnAt = now();
     p->state = Process::State::Suspended;
     p->resumeScheduled = true;
-    schedule(0, [this, p] {
+    scheduleProcessEvent(p, 0, [this, p] {
         p->resumeScheduled = false;
         if (p->state == Process::State::Suspended)
             resumeProcess(p);
@@ -105,17 +185,17 @@ Simulation::spawn(std::string name, std::function<void()> body,
 void
 Simulation::delay(Tick d)
 {
-    Process *p = _current;
+    Process *p = current();
     if (!p)
         panic("delay called outside a process");
-    schedule(d, [this, p] { wake(p); });
+    scheduleProcessEvent(p, d, [this, p] { wake(p); });
     suspend();
 }
 
 void
 Simulation::suspend()
 {
-    Process *p = _current;
+    Process *p = current();
     if (!p)
         panic("suspend called outside a process");
     if (p->wakePending) {
@@ -125,10 +205,11 @@ Simulation::suspend()
     if (trace_json::enabled())
         p->traceSuspendAt = now();
     p->state = Process::State::Suspended;
-    _current = nullptr;
+    setCurrent(nullptr);
     p->fiber.yield();
-    // Resumed.
-    _current = p;
+    // Resumed — possibly on a different engine thread, so re-resolve
+    // the thread-local context rather than touching stale state.
+    setCurrent(p);
     p->state = Process::State::Running;
     if (trace_json::enabled() && p->traceSuspendAt != kTickNever &&
         now() > p->traceSuspendAt) {
@@ -152,7 +233,7 @@ Simulation::wake(Process *p)
     if (p->resumeScheduled)
         return;
     p->resumeScheduled = true;
-    schedule(0, [this, p] {
+    scheduleProcessEvent(p, 0, [this, p] {
         p->resumeScheduled = false;
         if (p->state == Process::State::Suspended)
             resumeProcess(p);
@@ -162,9 +243,9 @@ Simulation::wake(Process *p)
 void
 Simulation::resumeProcess(Process *p)
 {
-    if (_current)
+    if (current())
         panic("resumeProcess while another process is running");
-    _current = p;
+    setCurrent(p);
     p->state = Process::State::Running;
     p->fiber.resume();
     // The fiber either yielded (suspend updated the state already) or
@@ -178,7 +259,7 @@ Simulation::resumeProcess(Process *p)
                                       p->traceSpawnAt, now());
         }
     }
-    _current = nullptr;
+    setCurrent(nullptr);
 }
 
 } // namespace shrimp

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The intra-run parallel engine (sim/parallel.hh): conservative-
+ * lookahead execution across mesh-node partitions must be bit-
+ * identical to serial execution. The matrix test runs the same
+ * workload at SHRIMP_THREADS-equivalent 1/2/4 x {faults on/off} x
+ * {metrics on/off} and compares the full RunReport JSON and the
+ * metrics JSONL byte for byte. The unit tests cover the keyed event
+ * queue (the (when, a, b) total order), provisional-rank patching,
+ * lookahead windows, and the HostRendezvous serial-execution bracket.
+ *
+ * This file is also the TSan workload for the engine: the sanitizer
+ * CI job (SHRIMP_SANITIZE=thread) leans on these tests to prove the
+ * partition barriers publish everything they must.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hh"
+#include "apps/radix.hh"
+#include "core/cluster.hh"
+#include "sim/parallel.hh"
+
+using namespace shrimp;
+
+namespace
+{
+
+/** The pinned-golden radix-VMMC shape, at an arbitrary thread count. */
+apps::AppResult
+runRadix(int threads, bool faults, bool metrics)
+{
+    core::ClusterConfig cc;
+    cc.threads = threads;
+    if (faults) {
+        cc.network.fault.dropRate = 0.005;
+        cc.network.fault.seed = 7;
+    }
+    if (metrics)
+        cc.metricsInterval = microseconds(20);
+    apps::RadixConfig cfg;
+    cfg.keys = 8 * 1024;
+    cfg.iterations = 2;
+    return apps::runRadixVmmc(cc, /*au=*/true, 4, cfg);
+}
+
+std::string
+reportOf(const apps::AppResult &r)
+{
+    return apps::makeReport(r).toJson(/*pretty=*/true);
+}
+
+std::string
+metricsOf(const apps::AppResult &r)
+{
+    std::ostringstream ss;
+    r.metrics.writeJsonl(ss, r.name, r.metricsInterval);
+    return ss.str();
+}
+
+} // anonymous namespace
+
+/**
+ * The tentpole guarantee: every observable of a run — the report
+ * (checksum, elapsed, every counter, accumulator and histogram), the
+ * metrics time series, and the executed-event count — is byte-
+ * identical at every thread count, with and without the fault plane,
+ * with and without the flight recorder.
+ */
+TEST(ParallelIdentity, ThreadsByFaultsByMetricsMatrix)
+{
+    // The configs name their thread counts explicitly; an ambient
+    // SHRIMP_THREADS must not leak into the serial baseline.
+    ::unsetenv("SHRIMP_THREADS");
+    for (bool faults : {false, true}) {
+        for (bool metrics : {false, true}) {
+            apps::AppResult base = runRadix(1, faults, metrics);
+            ASSERT_NE(base.checksum, 0u);
+            std::string base_rep = reportOf(base);
+            std::string base_met = metricsOf(base);
+            for (int threads : {2, 4}) {
+                apps::AppResult r = runRadix(threads, faults, metrics);
+                SCOPED_TRACE(testing::Message()
+                             << "threads=" << threads << " faults="
+                             << faults << " metrics=" << metrics);
+                EXPECT_EQ(r.checksum, base.checksum);
+                EXPECT_EQ(r.elapsed, base.elapsed);
+                EXPECT_EQ(r.hostEvents, base.hostEvents);
+                EXPECT_EQ(reportOf(r), base_rep);
+                EXPECT_EQ(metricsOf(r), base_met);
+            }
+        }
+    }
+}
+
+/** Same config, run twice at 4 threads: the engine itself is
+ * deterministic, not merely serial-matching on a lucky schedule. */
+TEST(ParallelIdentity, RepeatedParallelRunsAgree)
+{
+    ::unsetenv("SHRIMP_THREADS");
+    apps::AppResult a = runRadix(4, false, false);
+    apps::AppResult b = runRadix(4, false, false);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(reportOf(a), reportOf(b));
+}
+
+TEST(KeyedQueue, TotalOrderIsWhenThenAThenB)
+{
+    EventQueue q;
+    std::vector<int> order;
+    auto mark = [&order](int id) { return [&order, id] { order.push_back(id); }; };
+    q.scheduleAtKeyed(10, 2, 0, mark(3));
+    q.scheduleAtKeyed(10, 1, 5, mark(2));
+    q.scheduleAtKeyed(10, 1, 1, mark(1));
+    q.scheduleAtKeyed(5, 9, 9, mark(0));
+    q.scheduleAtKeyed(20, 0, 0, mark(4));
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(KeyedQueue, SerialSchedulingIsTheBZeroSpecialCase)
+{
+    // Interleaving classic schedule() with keyed events must respect
+    // the combined (when, a, b) order: serial events carry (nextSeq,
+    // 0), so a keyed event with a smaller `a` runs first at the same
+    // tick.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&order] { order.push_back(1); }); // a = 0 (seq)
+    q.schedule(10, [&order] { order.push_back(2); }); // a = 1
+    q.scheduleAtKeyed(10, 0, 1, [&order] { order.push_back(3); });
+    q.run();
+    // (10,0,0) then (10,0,1) then (10,1,0).
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(KeyedQueue, ProvisionalKeysSortAfterResolvedAndPatch)
+{
+    // Engine invariant the patch relies on: ranks grow monotonically,
+    // so at merge time a provisional key always resolves to a rank
+    // *larger* than any resolved key still pending (those parents
+    // executed in earlier epochs), and the local-index order equals
+    // the resolved-rank order. Patching in place therefore preserves
+    // heap order.
+    EventQueue q;
+    std::vector<int> order;
+    constexpr std::uint64_t P = EventQueue::kProvisionalBit;
+    q.scheduleAtKeyed(10, 2, 0, [&order] { order.push_back(1); });
+    q.scheduleAtKeyed(10, P | 1, 0, [&order] { order.push_back(3); });
+    q.scheduleAtKeyed(10, P | 0, 4, [&order] { order.push_back(2); });
+
+    // Pre-patch, provisional keys sort after every resolved rank.
+    OrderKey top{};
+    ASSERT_TRUE(q.peekKey(top));
+    EXPECT_EQ(top.a, 2u);
+
+    // Rank merge: local indices 0 and 1 resolve to ranks 5 and 6.
+    q.patchProvisional([](std::uint64_t local) { return local + 5; });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KeyedQueue, WindowRunsStrictlyBelowEndAndLogsKeys)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAtKeyed(5, 0, 0, [&order] { order.push_back(0); });
+    q.scheduleAtKeyed(9, 1, 0, [&order] { order.push_back(1); });
+    q.scheduleAtKeyed(10, 2, 0, [&order] { order.push_back(2); });
+
+    std::vector<OrderKey> log;
+    ExecCursor cur;
+    std::size_t ran = q.runWindow(/*end=*/10, log, cur);
+    EXPECT_EQ(ran, 2u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].when, 5);
+    EXPECT_EQ(log[1].when, 9);
+    EXPECT_EQ(q.size(), 1u); // the when == end event stays pending
+
+    // A second window picks up exactly where the first stopped.
+    ran = q.runWindow(/*end=*/11, log, cur);
+    EXPECT_EQ(ran, 1u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Rendezvous, RefcountedSerialDemandBracket)
+{
+    Simulation sim;
+    EXPECT_EQ(sim.serialDemand(), 0);
+    {
+        HostRendezvous outer(sim);
+        EXPECT_EQ(sim.serialDemand(), 1);
+        {
+            HostRendezvous inner(sim);
+            EXPECT_EQ(sim.serialDemand(), 2);
+        }
+        EXPECT_EQ(sim.serialDemand(), 1);
+        outer.release();
+        EXPECT_EQ(sim.serialDemand(), 0);
+        outer.release(); // idempotent
+        EXPECT_EQ(sim.serialDemand(), 0);
+    }
+    EXPECT_EQ(sim.serialDemand(), 0);
+}
+
+TEST(Arming, EligibilityAndTracingGates)
+{
+    ::unsetenv("SHRIMP_THREADS");
+    core::ClusterConfig cc;
+    cc.threads = 4;
+    {
+        core::Cluster c(cc);
+        // Unknown workloads never parallelize, whatever the knob says.
+        EXPECT_FALSE(c.parallelArmed());
+        c.setParallelEligible(true);
+        EXPECT_TRUE(c.parallelArmed());
+        EXPECT_EQ(c.domainForNode(0), 0);
+        EXPECT_EQ(c.domainForNode(5), 1);
+        EXPECT_EQ(c.domainForNode(15), 3);
+    }
+    {
+        cc.lifecycleTracing = true;
+        core::Cluster c(cc);
+        c.setParallelEligible(true);
+        EXPECT_FALSE(c.parallelArmed());
+    }
+    {
+        cc.lifecycleTracing = false;
+        cc.threads = 1;
+        core::Cluster c(cc);
+        c.setParallelEligible(true);
+        EXPECT_FALSE(c.parallelArmed());
+        EXPECT_EQ(c.domainForNode(5), -1);
+    }
+}
+
+TEST(Arming, ThreadsEnvLayersOntoDefaultOnly)
+{
+    ::setenv("SHRIMP_THREADS", "3", 1);
+    EXPECT_EQ(core::threadsFromEnv(1), 3);
+    ::setenv("SHRIMP_THREADS", "0", 1);
+    EXPECT_EQ(core::threadsFromEnv(1), 1);
+    ::setenv("SHRIMP_THREADS", "99", 1);
+    EXPECT_EQ(core::threadsFromEnv(1), 16);
+    ::unsetenv("SHRIMP_THREADS");
+    EXPECT_EQ(core::threadsFromEnv(1), 1);
+
+    // An explicit programmatic count survives the environment.
+    ::setenv("SHRIMP_THREADS", "8", 1);
+    core::ClusterConfig cc;
+    cc.threads = 2;
+    core::Cluster c(cc);
+    EXPECT_EQ(c.config().threads, 2);
+    ::unsetenv("SHRIMP_THREADS");
+}

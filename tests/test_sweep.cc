@@ -13,6 +13,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -135,5 +136,36 @@ TEST(Sweep, RepeatedRunsAreDeterministic)
     EXPECT_EQ(a.checksum, b.checksum);
     EXPECT_EQ(apps::makeReport(a).toJson(false),
               apps::makeReport(b).toJson(false));
+}
+
+/**
+ * The sink's flush ordering assumes one writer per path: while a
+ * sweep is in flight, only its worker threads (which carry per-job
+ * buffers) may emit. A foreign thread appending directly would
+ * interleave nondeterministically with the submission-ordered flush,
+ * so it dies loudly instead.
+ */
+TEST(SweepSinkOwnership, ForeignThreadEmitDiesDuringSweep)
+{
+    EXPECT_DEATH(
+        {
+            std::string path =
+                testing::TempDir() + "sink_ownership.jsonl";
+            ::setenv("SHRIMP_REPORT_JSONL", path.c_str(), 1);
+            ::setenv("SHRIMP_JOBS", "1", 1);
+            std::vector<std::function<int()>> jobs;
+            jobs.push_back([] {
+                // A thread the sweep does not know about (no per-job
+                // buffer) emitting mid-sweep.
+                std::thread rogue([] {
+                    RunReport rep;
+                    emitReport(rep);
+                });
+                rogue.join();
+                return 0;
+            });
+            runSweep(std::move(jobs));
+        },
+        "not a sweep worker");
 }
 

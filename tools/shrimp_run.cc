@@ -93,6 +93,13 @@ usage(const char *argv0)
         "  --metrics-interval-us N   sampling cadence (default 10)\n"
         "  --lifecycle        per-packet latency attribution; adds the\n"
         "                     latency_breakdown block to the report\n"
+        "\n"
+        "host execution:\n"
+        "  --threads N        worker threads for intra-run parallelism\n"
+        "                     (partition-safe workloads only; results\n"
+        "                     are bit-identical to --threads 1; the\n"
+        "                     SHRIMP_THREADS environment variable sets\n"
+        "                     the same knob)\n"
         "  --list-apps        print the app names and exit\n"
         "",
         argv0);
@@ -115,6 +122,7 @@ struct Options
     std::string statsJson; //!< --stats-json destination, empty = off
     std::string traceFile; //!< --trace destination, empty = off
     std::string metricsFile; //!< --metrics destination, empty = off
+    bool threadsGiven = false; //!< --threads appeared explicitly
     core::ClusterConfig cluster;
 
     /** The single command-line entry point. Exits on bad input. */
@@ -240,6 +248,9 @@ Options::parse(int argc, char **argv)
                 microseconds(std::atof(need(i)));
         } else if (a == "--lifecycle") {
             o.cluster.lifecycleTracing = true;
+        } else if (a == "--threads") {
+            o.cluster.threads = std::atoi(need(i));
+            o.threadsGiven = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          a.c_str());
@@ -372,6 +383,10 @@ main(int argc, char **argv)
         r.param("cli_nic", nic::nicKindName(o.cluster.nicKind));
         if (!o.cluster.udmaSends)
             r.param("cli_no_udma", "1");
+        if (o.threadsGiven) {
+            int t = o.cluster.threads;
+            r.param("threads", t < 1 ? 1 : (t > 16 ? 16 : t));
+        }
         const auto &f = o.cluster.network.fault;
         if (f.reliabilityEnabled()) {
             r.param("cli_fault_drop_rate", f.dropRate);

@@ -50,6 +50,10 @@ benchCluster()
     // re-runs any table multi-threaded (bit-identical results; only
     // host wall time changes, and only for partition-safe workloads).
     cc.threads = core::threadsFromEnv(cc.threads);
+    // And so does the topology sweep axis: SHRIMP_MESH re-runs any
+    // table on a bigger mesh (the paper's tables assume its 16-node
+    // procs fit, which every geometry >= 4x4 satisfies).
+    core::meshFromEnv(cc.meshWidth, cc.meshHeight);
     return cc;
 }
 
@@ -220,6 +224,14 @@ maybeEmitReport(const apps::AppResult &r)
     // stay byte-identical to reports from before the knob existed.
     if (int threads = core::threadsFromEnv(1); threads > 1)
         rep.params["threads"] = std::to_string(threads);
+    // Same for an ambient topology override: default-mesh lines stay
+    // byte-identical, SHRIMP_MESH runs identify their geometry
+    // (unless the bench already stamped one itself).
+    int mw = 4, mh = 4;
+    core::meshFromEnv(mw, mh);
+    if ((mw != 4 || mh != 4) && !rep.params.count("mesh"))
+        rep.params["mesh"] =
+            std::to_string(mw) + "x" + std::to_string(mh);
     if (reportHostPerf()) {
         rep.host.enabled = true;
         rep.host.wallSeconds = r.hostWallSeconds;

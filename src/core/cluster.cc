@@ -1,6 +1,9 @@
 #include "core/cluster.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
+#include <thread>
 
 #include "core/vmmc.hh"
 #include "sim/logging.hh"
@@ -10,16 +13,56 @@ namespace shrimp::core
 {
 
 int
+maxThreads()
+{
+    return std::max(16, int(std::thread::hardware_concurrency()));
+}
+
+int
+clampThreads(int t)
+{
+    return std::clamp(t, 1, maxThreads());
+}
+
+int
 threadsFromEnv(int fallback)
 {
     int t = fallback;
     if (const char *e = std::getenv("SHRIMP_THREADS"); e && *e)
         t = std::atoi(e);
-    if (t < 1)
-        t = 1;
-    if (t > 16)
-        t = 16;
-    return t;
+    return clampThreads(t);
+}
+
+bool
+parseMesh(const char *spec, int &width, int &height)
+{
+    if (!spec || !*spec)
+        return false;
+    char *end = nullptr;
+    long w = std::strtol(spec, &end, 10);
+    if (end == spec || *end != 'x')
+        return false;
+    const char *hs = end + 1;
+    long h = std::strtol(hs, &end, 10);
+    if (end == hs || *end != '\0')
+        return false;
+    if (w <= 0 || h <= 0 || w * h > long(mesh::kMaxMeshNodes))
+        return false;
+    width = int(w);
+    height = int(h);
+    return true;
+}
+
+void
+meshFromEnv(int &width, int &height)
+{
+    const char *e = std::getenv("SHRIMP_MESH");
+    if (!e || !*e)
+        return;
+    if (!parseMesh(e, width, height))
+        fatal("SHRIMP_MESH='%s' is not a valid WxH mesh spec "
+              "(product limit %d nodes)",
+              e, mesh::kMaxMeshNodes);
 }
 
 Cluster::Cluster(const ClusterConfig &config) : _config(config)
@@ -45,8 +88,12 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
     // comparisons, the parallel benchmarks) keeps it.
     if (_config.threads <= 1)
         _config.threads = threadsFromEnv(1);
-    else if (_config.threads > 16)
-        _config.threads = 16;
+    else
+        _config.threads = clampThreads(_config.threads);
+    // SHRIMP_MESH follows the same layering: it overrides the 4x4
+    // default, never an explicitly-configured geometry.
+    if (_config.meshWidth == 4 && _config.meshHeight == 4)
+        meshFromEnv(_config.meshWidth, _config.meshHeight);
     _network = std::make_unique<mesh::Network>(
         _sim, _config.meshWidth, _config.meshHeight, _config.network);
 
@@ -61,6 +108,12 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
     nic_cfg.lifecycle = &_lifecycle;
 
     int n = _config.meshWidth * _config.meshHeight;
+    // Past the per-destination-stats ceiling the "rel.dst<D>.*"
+    // scalar mirror would put O(nodes^2) entries in every fault-mode
+    // RunReport; big meshes keep the aggregate counters and per-node
+    // RTT histograms only.
+    if (n > nic::kPerDestStatsMaxNodes)
+        nic_cfg.reliability.perDestStats = false;
     nodes.reserve(n);
     nics.reserve(n);
     endpoints.reserve(n);

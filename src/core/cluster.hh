@@ -29,12 +29,37 @@ namespace shrimp::core
 class Endpoint;
 
 /**
+ * The hard ceiling on intra-run worker threads: the machine's
+ * hardware concurrency, but never below the historical cap of 16 (a
+ * box that misreports zero cores still gets the old behaviour).
+ */
+int maxThreads();
+
+/** @p t clamped to the valid worker-thread range [1, maxThreads()]. */
+int clampThreads(int t);
+
+/**
  * SHRIMP_THREADS resolved against a programmatic default: the
  * environment overrides @p fallback, and the result is clamped to
- * [1, 16]. Shared by Cluster construction and the bench harness so
- * both report the thread count the run actually used.
+ * [1, maxThreads()]. Shared by Cluster construction and the bench
+ * harness so both report the thread count the run actually used.
  */
 int threadsFromEnv(int fallback);
+
+/**
+ * Parse a "WxH" mesh geometry spec ("16x16"). Both dimensions must
+ * be positive decimal integers whose product fits the topology limit
+ * (mesh::kMaxMeshNodes). @return parse success.
+ */
+bool parseMesh(const char *spec, int &width, int &height);
+
+/**
+ * SHRIMP_MESH resolved against programmatic defaults: when the
+ * variable is set and non-empty it overrides (@p width, @p height).
+ * A malformed spec is fatal — a bad mesh must fail loudly, not run
+ * 4x4 silently.
+ */
+void meshFromEnv(int &width, int &height);
 
 /** Which network interface the cluster is built with (nic/nic_kind.hh). */
 using NicKind = nic::NicKind;
@@ -42,6 +67,12 @@ using NicKind = nic::NicKind;
 /** Everything needed to build a cluster. */
 struct ClusterConfig
 {
+    /**
+     * Mesh geometry. The 4x4 Paragon default matches the paper; the
+     * SHRIMP_MESH environment variable ("WxH") layers onto the
+     * default only, like SHRIMP_THREADS, so configs that name a
+     * geometry explicitly keep it.
+     */
     int meshWidth = 4;
     int meshHeight = 4;
 
@@ -92,7 +123,8 @@ struct ClusterConfig
      * workloads that declare themselves partition-safe (see
      * Cluster::setParallelEligible); results are bit-identical to
      * threads = 1. Also settable via SHRIMP_THREADS (clamped to
-     * [1, 16]).
+     * [1, maxThreads()] — the machine's hardware concurrency, 16 at
+     * minimum).
      */
     int threads = 1;
 };

@@ -25,8 +25,16 @@ Collective::init(int rank)
     PerRank &r = ranks[rank];
 
     // The control page: MemberCtl for everyone; the coordinator page
-    // additionally holds the gather slots behind it.
+    // additionally holds the gather slots behind it. One page covers
+    // 255 ranks; bigger meshes grow the coordinator region in page
+    // multiples so the sweep axis isn't capped by a fixed buffer.
     std::size_t bytes = node::kPageBytes;
+    if (rank == 0) {
+        std::size_t need =
+            sizeof(MemberCtl) + std::size_t(nprocs) * sizeof(Slot);
+        bytes = (need + node::kPageBytes - 1) / node::kPageBytes *
+                node::kPageBytes;
+    }
     r.page = static_cast<char *>(ep.node().mem().alloc(bytes, true));
     std::fill(r.page, r.page + bytes, 0);
     exported[rank] = ep.exportBuffer(r.page, bytes);

@@ -26,8 +26,12 @@ namespace shrimp::core
 class Collective
 {
   public:
-    /** Maximum participating processes. */
-    static constexpr int kMaxProcs = 64;
+    /**
+     * Maximum participating processes. The gather region is sized to
+     * the rank count at init(), so the only hard ceiling left is the
+     * mesh itself (mesh::kMaxMeshNodes).
+     */
+    static constexpr int kMaxProcs = 64 * 1024;
 
     /**
      * @param cluster The cluster.

@@ -15,13 +15,15 @@ Network::Network(Simulation &sim, int width, int height,
       linkBusyUntil(topo.linkCount(), 0),
       loopbackBusyUntil(topo.nodeCount(), 0),
       linkTracks(topo.linkCount(), -1),
-      routeCache(std::size_t(topo.nodeCount()) * topo.nodeCount()),
+      routeRows(topo.nodeCount()),
       stPackets(sim.stats(), "mesh.packets"),
       stBytes(sim.stats(), "mesh.bytes"),
       stDrops(sim.stats(), "mesh.drops"),
       stOutageDrops(sim.stats(), "mesh.outage_drops"),
       stCorruptions(sim.stats(), "mesh.corruptions"),
       stLinkStalls(sim.stats(), "mesh.link_stalls"),
+      stRouteRows(sim.stats(), "mesh.route_rows"),
+      stRouteArenaBytes(sim.stats(), "mesh.route_arena_bytes"),
       accLinkStallPs(sim.stats(), "mesh.link_stall_ps")
 {
     if (_params.fault.reliabilityEnabled()) {
@@ -60,16 +62,38 @@ Network::attach(NodeId node, Receiver receiver)
 std::pair<const int *, const int *>
 Network::route(NodeId src, NodeId dst)
 {
-    RouteRef &ref =
-        routeCache[std::size_t(src) * topo.nodeCount() + dst];
+    auto &row = routeRows[src];
+    if (!row) {
+        // First route out of this source: materialize its row. Idle
+        // nodes never pay for one, so memo memory tracks the traffic
+        // pattern (active sources x nodes) rather than nodes^2.
+        row = std::make_unique<RouteRef[]>(topo.nodeCount());
+        stRouteRows.inc();
+        stRouteArenaBytes.inc(sizeof(RouteRef) *
+                              std::size_t(topo.nodeCount()));
+    }
+    RouteRef &ref = row[dst];
     if (ref.offset < 0) {
         auto path = topo.route(src, dst);
         ref.offset = std::int32_t(routeArena.size());
         ref.length = std::int32_t(path.size());
         routeArena.insert(routeArena.end(), path.begin(), path.end());
+        stRouteArenaBytes.inc(sizeof(int) * path.size());
     }
     const int *base = routeArena.data() + ref.offset;
     return {base, base + ref.length};
+}
+
+std::size_t
+Network::routeMemoBytes() const
+{
+    std::size_t rows = 0;
+    for (const auto &row : routeRows)
+        if (row)
+            ++rows;
+    return rows * sizeof(RouteRef) * std::size_t(topo.nodeCount()) +
+           routeArena.capacity() * sizeof(int) +
+           routeRows.capacity() * sizeof(routeRows[0]);
 }
 
 void

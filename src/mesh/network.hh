@@ -101,8 +101,18 @@ class Network : public ParallelEngine::DeferClient
      * [begin, end) range of link indices (see Topology::route).
      * Routes are computed once per (src, dst) pair and cached, so the
      * hot send path performs no per-packet allocation.
+     *
+     * Memoization is per-source: a source's row of route references
+     * is allocated on its first send, so cache memory scales with
+     * (active sources x nodes) instead of nodes^2 — on a 32x32 mesh
+     * an idle or one-talker node costs nothing. The
+     * "mesh.route_rows" / "mesh.route_arena_bytes" counters expose
+     * the memo's actual footprint to scale benchmarks.
      */
     std::pair<const int *, const int *> route(NodeId src, NodeId dst);
+
+    /** Host bytes held by the route memo (rows + arena). */
+    std::size_t routeMemoBytes() const;
 
     /**
      * Deepest per-link backlog at @p now: the largest amount of
@@ -188,7 +198,13 @@ class Network : public ParallelEngine::DeferClient
     std::vector<Tick> linkBusyUntil;
     std::vector<Tick> loopbackBusyUntil;
     std::vector<int> linkTracks;
-    std::vector<RouteRef> routeCache;
+
+    /**
+     * Per-source route rows, allocated lazily (nullptr until the
+     * source first sends). Each row holds nodeCount() RouteRefs into
+     * routeArena.
+     */
+    std::vector<std::unique_ptr<RouteRef[]>> routeRows;
     std::vector<int> routeArena;
     std::unique_ptr<FaultInjector> injector;
     PacketPool _pool;
@@ -210,6 +226,8 @@ class Network : public ParallelEngine::DeferClient
     CounterHandle stOutageDrops;
     CounterHandle stCorruptions;
     CounterHandle stLinkStalls;
+    CounterHandle stRouteRows;
+    CounterHandle stRouteArenaBytes;
     AccumulatorHandle accLinkStallPs;
 };
 

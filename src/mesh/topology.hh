@@ -11,6 +11,7 @@
 #define SHRIMP_MESH_TOPOLOGY_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -18,6 +19,14 @@
 
 namespace shrimp::mesh
 {
+
+/**
+ * Largest node count any mesh may have. Keeps every derived quantity
+ * (node ids, dense link indices, per-source route rows) comfortably
+ * inside int arithmetic and catches typo'd --mesh values (a 4096x4096
+ * request is a mistake, not an experiment).
+ */
+inline constexpr int kMaxMeshNodes = 64 * 1024;
 
 /** Coordinates of a node on the mesh. */
 struct Coord
@@ -42,26 +51,50 @@ class Topology
     Topology(int width, int height) : _width(width), _height(height)
     {
         if (width <= 0 || height <= 0)
-            fatal("mesh dimensions must be positive");
+            fatal("mesh dimensions must be positive (got %dx%d)",
+                  width, height);
+        // The product must be checked in wide arithmetic: two
+        // individually-valid ints can multiply into a negative
+        // nodeCount and every dense array below would mis-size.
+        if (std::int64_t(width) * height > kMaxMeshNodes)
+            fatal("mesh %dx%d exceeds the %d-node limit", width,
+                  height, kMaxMeshNodes);
     }
 
     int width() const { return _width; }
     int height() const { return _height; }
     int nodeCount() const { return _width * _height; }
 
-    /** Map a node id to mesh coordinates. */
+    /** Does @p id name a node on this mesh? */
+    bool contains(NodeId id) const { return id < NodeId(nodeCount()); }
+
+    /**
+     * Map a node id to mesh coordinates. A NodeId outside the mesh
+     * (including kInvalidNode, whose raw value would wrap the int
+     * conversion) panics instead of silently mis-routing.
+     */
     Coord
     coordOf(NodeId id) const
     {
+        if (!contains(id)) [[unlikely]]
+            panic("node %u outside the %dx%d mesh", id, _width,
+                  _height);
         return Coord{int(id) % _width, int(id) / _width};
     }
 
-    /** Map coordinates to a node id. */
+    /** Map coordinates to a node id. Out-of-mesh coordinates panic. */
     NodeId
     idOf(Coord c) const
     {
+        if (c.x < 0 || c.x >= _width || c.y < 0 || c.y >= _height)
+            [[unlikely]]
+            panic("coordinate (%d, %d) outside the %dx%d mesh", c.x,
+                  c.y, _width, _height);
         return NodeId(c.y * _width + c.x);
     }
+
+    /** nodeOf: coordinate-to-id mapping under its historical name. */
+    NodeId nodeOf(Coord c) const { return idOf(c); }
 
     /** Manhattan hop count between two nodes. */
     int

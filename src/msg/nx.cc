@@ -37,6 +37,18 @@ NxDomain::NxDomain(core::Cluster &cluster, const NxConfig &config)
     if (config.ringBytes % node::kPageBytes != 0)
         fatal("NxDomain: ring size must be a page multiple");
 
+    // Eager all-pairs rings are the honest NX model, but on big
+    // meshes n-1 rings per node can't keep the 16-node ring size:
+    // cap the per-node ring budget and halve the ring until it fits
+    // (never below 8 pages, so a paper-sized message still fits in
+    // cap/2). Geometries up to ~128 ranks keep the configured size
+    // and therefore byte-identical behavior.
+    constexpr std::size_t kRingBudget = 32 * 1024 * 1024;
+    constexpr std::size_t kRingFloor = 8 * node::kPageBytes;
+    while (this->config.ringBytes > kRingFloor &&
+           std::size_t(n - 1) * this->config.ringBytes > kRingBudget)
+        this->config.ringBytes /= 2;
+
     procs.resize(n);
     for (int r = 0; r < n; ++r)
         procs[r] = std::unique_ptr<NxProcess>(new NxProcess(*this, r));
@@ -62,16 +74,22 @@ NxDomain::init(int rank)
         if (peer == rank)
             continue;
         InRing &ring = inRings[rank][peer];
+        // Fresh arena pages read as zero; no memset, or the whole
+        // n^2-ring matrix faults into host RSS at construction.
         ring.base = static_cast<char *>(
             mem.alloc(config.ringBytes, true));
-        std::memset(ring.base, 0, config.ringBytes);
         ring.exp = ep.exportBuffer(ring.base, config.ringBytes);
     }
+    // One 8-byte credit slot per peer; a single page only covers 512
+    // ranks, so round the region up to however many pages n needs.
+    std::size_t credit_bytes =
+        (std::size_t(n) * sizeof(std::uint64_t) + node::kPageBytes -
+         1) /
+        node::kPageBytes * node::kPageBytes;
     creditPages[rank] =
-        static_cast<char *>(mem.alloc(node::kPageBytes, true));
-    std::memset(creditPages[rank], 0, node::kPageBytes);
+        static_cast<char *>(mem.alloc(credit_bytes, true));
     creditExports[rank] =
-        ep.exportBuffer(creditPages[rank], node::kPageBytes);
+        ep.exportBuffer(creditPages[rank], credit_bytes);
     exported[rank] = true;
 
     // Rendezvous (model-level), then import peers' rings.
@@ -99,7 +117,6 @@ NxDomain::init(int rank)
                 fatal("NX AU variant needs an AU-capable NIC");
             out.auStage = static_cast<char *>(
                 mem.alloc(config.ringBytes, true));
-            std::memset(out.auStage, 0, config.ringBytes);
             ep.bindAu(out.auStage, out.proxy, 0, config.ringBytes,
                       config.auCombining);
         }

@@ -87,17 +87,23 @@ NicBase::channelFor(NodeId dst)
     auto [it, inserted] = channels.try_emplace(dst);
     RelChannel &ch = it->second;
     if (inserted) {
-        // Bind the per-channel observability surface once; map
-        // entries are address-stable so the pointers stay valid.
         auto &stats = _node.simulation().stats();
-        std::string prefix =
-            _node.name() + ".rel.dst" + std::to_string(dst) + ".";
-        ch.stOutstanding = &stats.scalar(prefix + "outstanding");
-        ch.stSrttUs = &stats.scalar(prefix + "srtt_us");
-        ch.stRttvarUs = &stats.scalar(prefix + "rttvar_us");
-        ch.stLastRtoUs = &stats.scalar(prefix + "last_rto_fire_us");
-        ch.stGaveUp = &stats.scalar(prefix + "gave_up");
-        ch.accRttUs = &stats.accumulator(prefix + "ack_rtt_us");
+        if (_rel.perDestStats) {
+            // Bind the per-channel observability surface once; map
+            // entries are address-stable so the pointers stay valid.
+            // Past kPerDestStatsMaxNodes the Cluster turns this
+            // mirror off (nodes^2 scalars would swamp every report);
+            // the node-wide histogram below still aggregates RTTs.
+            std::string prefix =
+                _node.name() + ".rel.dst" + std::to_string(dst) + ".";
+            ch.stOutstanding = &stats.scalar(prefix + "outstanding");
+            ch.stSrttUs = &stats.scalar(prefix + "srtt_us");
+            ch.stRttvarUs = &stats.scalar(prefix + "rttvar_us");
+            ch.stLastRtoUs =
+                &stats.scalar(prefix + "last_rto_fire_us");
+            ch.stGaveUp = &stats.scalar(prefix + "gave_up");
+            ch.accRttUs = &stats.accumulator(prefix + "ack_rtt_us");
+        }
         if (!rttHist)
             rttHist = &stats.logHistogram(
                 _node.name() + ".rel.ack_rtt_us", 0.1, 1e5, 150);
@@ -147,9 +153,11 @@ NicBase::sampleRtt(RelChannel &ch, Tick rtt)
     }
     double us = toMicroseconds(rtt);
     rttHist->sample(us);
-    ch.accRttUs->sample(us);
-    ch.stSrttUs->set(toMicroseconds(ch.srtt));
-    ch.stRttvarUs->set(toMicroseconds(ch.rttvar));
+    if (ch.accRttUs) {
+        ch.accRttUs->sample(us);
+        ch.stSrttUs->set(toMicroseconds(ch.srtt));
+        ch.stRttvarUs->set(toMicroseconds(ch.rttvar));
+    }
 }
 
 Tick
@@ -187,7 +195,8 @@ NicBase::netSend(mesh::Packet pkt)
     *slot = pkt;
     ch.unacked.push_back(slot);
     ch.sentAt.push_back(sim.now());
-    ch.stOutstanding->set(double(ch.unacked.size()));
+    if (ch.stOutstanding)
+        ch.stOutstanding->set(double(ch.unacked.size()));
     // Invariant: the timer is armed exactly while unacked is non-empty.
     if (ch.unacked.size() == 1) {
         if (ch.rtoNow == 0)
@@ -282,7 +291,8 @@ NicBase::handleAck(const mesh::Packet &pkt)
     if (progress) {
         ch.rtoNow = rtoFor(ch);
         ch.rtoStreak = 0;
-        ch.stOutstanding->set(double(ch.unacked.size()));
+        if (ch.stOutstanding)
+            ch.stOutstanding->set(double(ch.unacked.size()));
     }
     ch.rto.cancel();
     if (!ch.unacked.empty())
@@ -308,7 +318,8 @@ NicBase::handleNack(const mesh::Packet &pkt)
     if (progress) {
         ch.rtoNow = rtoFor(ch);
         ch.rtoStreak = 0;
-        ch.stOutstanding->set(double(ch.unacked.size()));
+        if (ch.stOutstanding)
+            ch.stOutstanding->set(double(ch.unacked.size()));
     }
     // ...and requests a go-back-N resend of everything from it on.
     if (!ch.unacked.empty())
@@ -358,10 +369,12 @@ NicBase::rtoFire(NodeId dst)
     auto &sim = _node.simulation();
     stRtoFires.inc();
     ch.lastRtoFire = sim.now();
-    ch.stLastRtoUs->set(toMicroseconds(sim.now()));
+    if (ch.stLastRtoUs)
+        ch.stLastRtoUs->set(toMicroseconds(sim.now()));
     if (++ch.rtoStreak > _rel.rtoGiveUp) {
         ch.gaveUp = true;
-        ch.stGaveUp->set(1.0);
+        if (ch.stGaveUp)
+            ch.stGaveUp->set(1.0);
         if (_rel.fatalOnGiveUp)
             fatal("%s: %d retransmission timeouts to node %u without "
                   "progress -- link permanently down?",
@@ -374,7 +387,8 @@ NicBase::rtoFire(NodeId dst)
             ch.unacked.pop_front();
             ch.sentAt.pop_front();
         }
-        ch.stOutstanding->set(0.0);
+        if (ch.stOutstanding)
+            ch.stOutstanding->set(0.0);
         ch.rto.cancel();
         if (peerDeadHook)
             peerDeadHook(dst);

@@ -89,7 +89,23 @@ struct ReliabilityParams
 
     /** On-wire size of an ACK/NACK packet (header only). */
     std::uint32_t ctrlWireBytes = 16;
+
+    /**
+     * Publish the per-destination "rel.dst<D>.*" scalar mirror of
+     * each channel's state. On by default for paper-scale meshes;
+     * the Cluster turns it off past kPerDestStatsMaxNodes nodes,
+     * where the mirror would put O(nodes^2) scalars in every
+     * RunReport. Channel state itself (and peerHealth()) is
+     * unaffected — only the observability mirror is gated.
+     */
+    bool perDestStats = true;
 };
+
+/**
+ * Largest cluster that still gets the per-destination reliability
+ * scalars by default (see ReliabilityParams::perDestStats).
+ */
+inline constexpr int kPerDestStatsMaxNodes = 64;
 
 /**
  * Construction-time configuration shared by every NIC kind: the

@@ -22,6 +22,21 @@ namespace shrimp
 
 thread_local Fiber *Fiber::current_fiber = nullptr;
 
+FiberStack::FiberStack(std::size_t n) : bytes(n)
+{
+    void *p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1,
+                     0);
+    if (p == MAP_FAILED)
+        fatal("cannot map a %zu-byte fiber stack", bytes);
+    base = static_cast<char *>(p);
+}
+
+FiberStack::~FiberStack()
+{
+    ::munmap(base, bytes);
+}
+
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body(std::move(body)), stack(stack_bytes)
 {

@@ -11,6 +11,7 @@
 #ifndef SHRIMP_SIM_FIBER_HH
 #define SHRIMP_SIM_FIBER_HH
 
+#include <sys/mman.h>
 #include <ucontext.h>
 
 #include <cstddef>
@@ -37,6 +38,32 @@
 
 namespace shrimp
 {
+
+/**
+ * A fiber stack as a lazily-populated anonymous mapping.
+ *
+ * A std::vector stack zero-fills all 512 KB up front, which at a
+ * thousand-node mesh (one app fiber plus service fibers per node)
+ * turns into gigabytes of touched host memory. MAP_NORESERVE pages
+ * cost nothing until the fiber actually recurses into them — the
+ * same trick NodeMemory plays for node arenas.
+ */
+class FiberStack
+{
+  public:
+    explicit FiberStack(std::size_t bytes);
+    ~FiberStack();
+
+    FiberStack(const FiberStack &) = delete;
+    FiberStack &operator=(const FiberStack &) = delete;
+
+    void *data() const { return base; }
+    std::size_t size() const { return bytes; }
+
+  private:
+    char *base = nullptr;
+    std::size_t bytes = 0;
+};
 
 /**
  * One cooperative execution context with its own stack.
@@ -104,7 +131,7 @@ class Fiber
     void run();
 
     std::function<void()> body;
-    std::vector<char> stack;
+    FiberStack stack;
     ucontext_t fiberCtx;
     ucontext_t schedulerCtx;
     bool _finished = false;

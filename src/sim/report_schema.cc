@@ -187,6 +187,23 @@ validateReport(const JsonValue &doc, std::string *err)
             return failWith(err, "params.threads is not a positive "
                                  "integer");
     }
+    // 'mesh' (topology sweep axis) must be "WxH" with two positive
+    // decimal integers when present.
+    if (const JsonValue *mesh = params->find("mesh")) {
+        bool ok = mesh->isString();
+        if (ok) {
+            const std::string &s = mesh->str;
+            auto x = s.find('x');
+            ok = x != std::string::npos && x > 0 && x + 1 < s.size() &&
+                 s.find('x', x + 1) == std::string::npos &&
+                 s.find_first_not_of("0123456789x") ==
+                     std::string::npos &&
+                 s[0] != '0' && s[x + 1] != '0';
+        }
+        if (!ok)
+            return failWith(err, "params.mesh is not a WxH mesh "
+                                 "spec");
+    }
 
     const JsonValue *tb = require(doc, "time_breakdown_ps",
                                   JsonValue::Kind::Object, err);

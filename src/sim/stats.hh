@@ -411,6 +411,13 @@ class StatsRegistry
         return counters;
     }
 
+    /** All scalars, sorted by name (tests, golden comparisons). */
+    const std::map<std::string, Scalar> &
+    allScalars() const
+    {
+        return scalars;
+    }
+
     /** Sum of all counters whose name begins with @p prefix. */
     std::uint64_t sumCounters(const std::string &prefix) const;
 

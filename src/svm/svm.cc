@@ -106,11 +106,19 @@ struct SvmRuntime::RankState
         std::unique_ptr<std::vector<char>> twin;
     };
 
+    /**
+     * Maximum SVM ranks: NodeCtl (one fetch stamp plus a per-peer ack
+     * slot) must fit the single control page each rank exports.
+     */
+    static constexpr int kMaxSvmProcs =
+        int((node::kPageBytes - sizeof(std::uint64_t)) /
+            sizeof(std::uint64_t));
+
     /** Control page written remotely (fetch stamps + diff acks). */
     struct NodeCtl
     {
         std::uint64_t fetchStamp;
-        std::uint64_t acks[core::Collective::kMaxProcs];
+        std::uint64_t acks[kMaxSvmProcs];
     };
 
     int rank = -1;
@@ -181,8 +189,9 @@ SvmRuntime::SvmRuntime(core::Cluster &cluster, const SvmConfig &config)
 {
     if (cfg.nprocs < 1 || cfg.nprocs > cluster.nodeCount())
         fatal("SvmRuntime: nprocs %d out of range", cfg.nprocs);
-    if (cfg.nprocs > core::Collective::kMaxProcs)
-        fatal("SvmRuntime: nprocs exceeds control-page capacity");
+    if (cfg.nprocs > RankState::kMaxSvmProcs)
+        fatal("SvmRuntime: nprocs %d exceeds control-page capacity "
+              "(%d)", cfg.nprocs, RankState::kMaxSvmProcs);
     if (cfg.heapBytes % node::kPageBytes != 0)
         fatal("SvmRuntime: heap must be a page multiple");
 

@@ -28,7 +28,9 @@
 #include "apps/ocean.hh"
 #include "apps/radix.hh"
 #include "apps/render.hh"
+#include "mesh/topology.hh"
 #include "nic/nic_kind.hh"
+#include "sim/logging.hh"
 #include "sim/run_report.hh"
 #include "sim/trace_json.hh"
 
@@ -64,6 +66,10 @@ usage(const char *argv0)
         "  --seed N           workload seed\n"
         "\n"
         "what-if knobs (Sec 4 + the modern design point):\n"
+        "  --mesh WxH         mesh geometry (default 4x4; the paper's\n"
+        "                     Paragon; try 16x16 or 32x32 — the\n"
+        "                     SHRIMP_MESH environment variable sets\n"
+        "                     the same knob)\n"
         "  --nic KIND         shrimp (default) | baseline (Myrinet-\n"
         "                     style) | modern (RDMA-style: doorbells,\n"
         "                     completion queues, notifiable writes)\n"
@@ -123,6 +129,7 @@ struct Options
     std::string traceFile; //!< --trace destination, empty = off
     std::string metricsFile; //!< --metrics destination, empty = off
     bool threadsGiven = false; //!< --threads appeared explicitly
+    bool meshGiven = false;    //!< --mesh appeared explicitly
     core::ClusterConfig cluster;
 
     /** The single command-line entry point. Exits on bad input. */
@@ -192,6 +199,17 @@ Options::parse(int argc, char **argv)
             o.steps = std::atoi(need(i));
         } else if (a == "--seed") {
             o.seed = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--mesh") {
+            const char *spec = need(i);
+            if (!core::parseMesh(spec, o.cluster.meshWidth,
+                                 o.cluster.meshHeight)) {
+                std::fprintf(stderr,
+                             "%s: bad mesh spec '%s' (want WxH with "
+                             "at most %d nodes)\n",
+                             argv[0], spec, mesh::kMaxMeshNodes);
+                usage(argv[0]);
+            }
+            o.meshGiven = true;
         } else if (a == "--nic") {
             const char *n = need(i);
             if (!nic::parseNicKind(n, o.cluster.nicKind)) {
@@ -321,6 +339,25 @@ main(int argc, char **argv)
 {
     Options o = Options::parse(argc, argv);
 
+    // Resolve the mesh geometry here rather than inside the Cluster:
+    // the processor-count validation and the report params must see
+    // the geometry the run will actually use. An explicit --mesh
+    // beats the environment, so drop the variable in that case (the
+    // Cluster would otherwise re-layer it over an explicit 4x4).
+    if (o.meshGiven)
+        ::unsetenv("SHRIMP_MESH");
+    else
+        core::meshFromEnv(o.cluster.meshWidth, o.cluster.meshHeight);
+    int mesh_nodes = o.cluster.meshWidth * o.cluster.meshHeight;
+    if (o.app != "dfs" && o.procs > mesh_nodes) {
+        std::fprintf(stderr,
+                     "%s: --procs %d exceeds the %dx%d mesh's %d "
+                     "nodes\n",
+                     argv[0], o.procs, o.cluster.meshWidth,
+                     o.cluster.meshHeight, mesh_nodes);
+        return 2;
+    }
+
     // DFS/render default to DU like the paper's runs; the flag must
     // be given explicitly to force AU.
     if ((o.app == "dfs" || o.app == "render") && !o.auGiven)
@@ -381,12 +418,14 @@ main(int argc, char **argv)
         // unconditional since the three-NIC redesign; it used to be
         // emitted only for baseline runs).
         r.param("cli_nic", nic::nicKindName(o.cluster.nicKind));
+        // The geometry identifies the run like the adapter does; the
+        // analyzer shape-checks this param (see sim/report_schema.cc).
+        r.param("mesh", strfmt("%dx%d", o.cluster.meshWidth,
+                               o.cluster.meshHeight));
         if (!o.cluster.udmaSends)
             r.param("cli_no_udma", "1");
-        if (o.threadsGiven) {
-            int t = o.cluster.threads;
-            r.param("threads", t < 1 ? 1 : (t > 16 ? 16 : t));
-        }
+        if (o.threadsGiven)
+            r.param("threads", core::clampThreads(o.cluster.threads));
         const auto &f = o.cluster.network.fault;
         if (f.reliabilityEnabled()) {
             r.param("cli_fault_drop_rate", f.dropRate);

@@ -240,6 +240,8 @@ maybeEmitReport(const apps::AppResult &r)
                                     ? double(r.hostEvents) /
                                           r.hostWallSeconds
                                     : 0;
+        rep.host.partitions = r.engineStats;
+        fillHostRusage(rep.host);
     }
     emitReport(rep);
 }

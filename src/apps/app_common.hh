@@ -61,6 +61,12 @@ struct AppResult
     /** Events the simulation executed (host-perf reporting). */
     std::uint64_t hostEvents = 0;
 
+    /**
+     * Per-partition engine profile when the run used the parallel
+     * engine (Cluster::engineStats); empty for serial runs.
+     */
+    std::vector<RunReport::HostPerf::Partition> engineStats;
+
     /** Time-series samples (empty unless the sampler ran). */
     MetricsSeries metrics;
 
@@ -101,6 +107,10 @@ captureStats(AppResult &result, core::Cluster &cluster)
     result.hostEvents = cluster.sim().executedEvents();
     result.metrics = cluster.metrics().series();
     result.metricsInterval = cluster.config().metricsInterval;
+    result.engineStats.clear();
+    for (const auto &ws : cluster.engineStats())
+        result.engineStats.push_back(
+            {ws.windows, ws.events, ws.barrierWaitNs});
 }
 
 /** Assemble the machine-readable report for a finished run. */

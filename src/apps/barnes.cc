@@ -480,7 +480,8 @@ runBarnesSvm(const core::ClusterConfig &cluster_config,
     cluster.run();
     warnIfDeadlocked(cluster, result.name.c_str());
     if (!deadlockedProcesses(cluster).empty())
-        std::fprintf(stderr, "%s", rt.debugState().c_str());
+        warn("%s runtime state at deadlock:\n%s",
+             result.name.c_str(), rt.debugState().c_str());
     result.elapsed = clock.elapsed();
     for (int q = 0; q < nprocs; ++q) {
         result.combined.merge(rt.account(q));

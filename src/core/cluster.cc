@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/vmmc.hh"
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -68,6 +69,7 @@ meshFromEnv(int &width, int &height)
 Cluster::Cluster(const ClusterConfig &config) : _config(config)
 {
     trace_json::openFromEnv();
+    causal::openFromEnv();
     // Environment fault knobs (SHRIMP_FAULT_*) layer on top of the
     // programmatic config, so any tool or benchmark can be run against
     // a lossy backplane without changing code.
@@ -83,6 +85,13 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
         _config.metricsInterval = microseconds(std::atof(e));
     if (_config.metricsInterval == 0 && std::getenv("SHRIMP_METRICS"))
         _config.metricsInterval = microseconds(10);
+    // The soak watchdog layers the same way: the environment fills in
+    // the default only, an explicit config value wins.
+    if (_config.watchdogSecs <= 0) {
+        if (const char *e = std::getenv("SHRIMP_WATCHDOG_SECS");
+            e && *e)
+            _config.watchdogSecs = std::atoi(e);
+    }
     // SHRIMP_THREADS layers onto the *default* only: a config that
     // names a thread count explicitly (in-process serial-vs-parallel
     // comparisons, the parallel benchmarks) keeps it.
@@ -99,6 +108,10 @@ Cluster::Cluster(const ClusterConfig &config) : _config(config)
 
     if (_config.lifecycleTracing)
         _lifecycle.enable(_sim.stats());
+    // Causal tracing needs per-packet stage stamps but no histograms;
+    // stamp-only mode stays safe under the parallel engine.
+    if (causal::enabled())
+        _lifecycle.enableStamps();
 
     // Every NIC kind takes the same construction-time configuration:
     // reliability tunables plus the lifecycle tracer, wired before
@@ -217,9 +230,49 @@ Cluster::parallelArmed() const
            !trace_json::enabled() && !_config.lifecycleTracing;
 }
 
+/*
+ * The watchdog readers run on a separate host thread and glance at
+ * live counters without synchronization — stale values are fine, a
+ * TSan report is not, hence the exemption.
+ */
+SHRIMP_NO_TSAN Watchdog::Snapshot
+Cluster::watchdogSnapshot() const
+{
+    Watchdog::Snapshot s;
+    s.nowPs = std::uint64_t(_sim.now());
+    s.executed = _sim.executedEvents();
+    s.pending = _sim.pendingEvents();
+    return s;
+}
+
+SHRIMP_NO_TSAN std::string
+Cluster::watchdogDetail() const
+{
+    std::string out;
+    int n = nodeCount();
+    // Big meshes would flood stderr; cap the per-node lines.
+    int shown = std::min(n, 64);
+    for (int i = 0; i < shown; ++i) {
+        out += strfmt(
+            "watchdog:   node%d deliveries=%llu retx_backlog=%zu\n", i,
+            (unsigned long long)endpoints[i]->deliveries(),
+            nics[i]->retransmitBacklog());
+    }
+    if (shown < n)
+        out += strfmt("watchdog:   ... and %d more nodes\n", n - shown);
+    return out;
+}
+
 void
 Cluster::run()
 {
+    Watchdog wd;
+    if (_config.watchdogSecs > 0) {
+        wd.start(
+            _config.watchdogSecs,
+            [this] { return watchdogSnapshot(); },
+            [this] { return watchdogDetail(); });
+    }
     if (!parallelArmed()) {
         _sim.run();
         return;
@@ -239,6 +292,7 @@ Cluster::run()
     Tick lookahead =
         _config.network.transceiverLatency + _config.network.hopLatency;
     _sim.runParallel(lookahead);
+    _engineStats = eng->workerStats();
     _network->setParallel(nullptr, {});
     _network->pool().setShared(false);
 }

@@ -21,7 +21,9 @@
 #include "node/node.hh"
 #include "sim/lifecycle.hh"
 #include "sim/metrics.hh"
+#include "sim/parallel.hh"
 #include "sim/simulation.hh"
+#include "sim/watchdog.hh"
 
 namespace shrimp::core
 {
@@ -127,6 +129,15 @@ struct ClusterConfig
      * minimum).
      */
     int threads = 1;
+
+    /**
+     * Soak watchdog (sim/watchdog.hh): when > 0, run() starts a
+     * wall-clock thread that dumps progress state to stderr if
+     * simulated time stops advancing for this many real seconds (or
+     * on SIGUSR1). Read-only observation; 0 disables. Also settable
+     * via SHRIMP_WATCHDOG_SECS (layers onto the default only).
+     */
+    int watchdogSecs = 0;
 };
 
 /**
@@ -211,11 +222,28 @@ class Cluster
     /** Packet lifecycle tracer (may be disabled). */
     LifecycleTracer &lifecycle() { return _lifecycle; }
 
+    /**
+     * Per-partition engine profile of the last parallel run() —
+     * windows, events executed, epoch-barrier wait time per worker.
+     * Empty when the run was serial. Host-side observability only.
+     */
+    const std::vector<ParallelEngine::WorkerStats> &
+    engineStats() const
+    {
+        return _engineStats;
+    }
+
   private:
     friend class Endpoint;
 
     /** Bind the sampler's gauges (called when sampling is on). */
     void registerGauges();
+
+    /** Racy progress glance for the watchdog thread (reads only). */
+    Watchdog::Snapshot watchdogSnapshot() const;
+
+    /** Per-node stall detail for a watchdog dump (reads only). */
+    std::string watchdogDetail() const;
 
     ClusterConfig _config;
     Simulation _sim;
@@ -226,6 +254,7 @@ class Cluster
     LifecycleTracer _lifecycle;
     MetricsSampler _sampler;
     bool _parallelEligible = false;
+    std::vector<ParallelEngine::WorkerStats> _engineStats;
 };
 
 } // namespace shrimp::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 
 namespace shrimp::core
@@ -196,6 +197,7 @@ Endpoint::send(ProxyId proxy, const void *src, std::size_t bytes,
 
     stMessages.inc();
     stMessageBytes.inc(bytes);
+    causal::OpSpan span(int(_node.id()), "vmmc.send");
 
     // Table 2 what-if: a kernel-mediated send traps before the
     // transfer is handed to the (same) hardware.
@@ -328,7 +330,13 @@ Endpoint::onDeliver(const nic::Delivery &d)
     NodeId src = d.srcNode;
     std::uint32_t bytes = d.bytes;
     NotificationHandler &h = rec->handler;
-    _node.os().postNotification([this, &h, src, buf_offset, bytes] {
+    // onDeliver runs inside the delivering packet's EventCtxScope;
+    // capture that context so the (later) notification handler still
+    // parents its work on the packet that requested it.
+    causal::CauseCtx cause = causal::current();
+    _node.os().postNotification([this, &h, src, buf_offset, bytes,
+                                 cause] {
+        causal::EventCtxScope cctx(cause);
         h(src, buf_offset, bytes);
         // Handler side effects count as progress for pollers.
         ++_deliveries;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "sim/causal.hh"
 #include "sim/types.hh"
 
 namespace shrimp::mesh
@@ -97,6 +98,15 @@ struct Packet
      * protocol state, so corrupting them is meaningless.
      */
     PacketLife life;
+
+    /**
+     * Causal-trace context of the operation that sent this packet
+     * (sim/causal.hh). Like `life`, observability metadata outside
+     * packetChecksum; it rides every copy the pipeline makes — the
+     * retransmit buffer and the parallel engine's deferred sends
+     * included — so the receiver's spans parent correctly.
+     */
+    causal::CauseCtx cause;
 };
 
 /**

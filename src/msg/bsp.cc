@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 
 namespace shrimp::msg
@@ -107,6 +108,7 @@ BspDomain::put(int rank, int dst, int area, std::size_t offset,
     ep.node().cpu().sync();
     ScopedCategory cat(ranks[rank].account,
                        TimeCategory::Communication);
+    causal::OpSpan span(rank, "bsp.put");
     ep.send(a.proxies[rank][dst], src, bytes, offset);
     PerRank &pr = ranks[rank];
     if (!pr.stPuts)
@@ -122,6 +124,7 @@ BspDomain::sync(int rank)
     core::Endpoint &ep = cluster.vmmc(rank);
     ep.node().cpu().sync();
     ScopedCategory cat(r.account, TimeCategory::Barrier);
+    causal::OpSpan span(rank, "bsp.sync");
 
     std::uint64_t step = ++r.step;
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 
 namespace shrimp::msg
@@ -184,6 +185,10 @@ RpcDomain::dispatchSlot(int server_rank, int slot)
     if (it == s.procedures.end())
         fatal("rpc: unknown procedure %u", hdr->proc);
 
+    // Parented on the caller's packet context when dispatched from a
+    // notification, or on the serving process's context when polled.
+    causal::OpSpan span(server_rank, "rpc.serve");
+
     // Unmarshal + handler + marshal reply.
     cpu.compute(cfg.marshalCost);
     std::vector<char> reply = it->second(
@@ -238,6 +243,7 @@ RpcDomain::Client::call(std::uint32_t proc, const void *args,
     auto &cpu = ep.node().cpu();
     cpu.sync();
     ScopedCategory cat(account, TimeCategory::Communication);
+    causal::OpSpan span(rank, "rpc.call");
 
     ++seq;
     cpu.compute(d.cfg.marshalCost);

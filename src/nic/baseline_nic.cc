@@ -56,6 +56,7 @@ BaselineNic::post(const SendDesc &req)
     pkt.endOfMessage = req.endOfMessage;
     pkt.life = life;
     pkt.life.queued = sim.now(); // after any queue-full wait
+    pkt.cause = causal::current();
 
     sendQueue.push_back(std::move(pkt));
     sendQueueDst.push_back(entry.dstNode);
@@ -98,6 +99,7 @@ BaselineNic::engineBody()
         mp.life = pkt.life;
         if (mp.life.id)
             mp.life.injected = sim.now();
+        mp.cause = pkt.cause;
         auto payload = std::make_shared<NicPayload>();
         payload->body = std::move(pkt);
         mp.payload = std::move(payload);
@@ -140,8 +142,14 @@ BaselineNic::receive(const mesh::Packet &pkt)
         lifecycle->record(pkt.life.born, pkt.life.queued,
                           pkt.life.injected, pkt.life.delivered, start,
                           done);
+    if (pkt.life.id && causal::enabled())
+        causal::emitPacket(pkt.cause, int(nodeId()), pkt.life.born,
+                           pkt.life.queued, pkt.life.injected,
+                           pkt.life.delivered, start, done);
 
     sim.schedule(done - sim.now(), [this, payload] {
+        causal::EventCtxScope cctx(
+            std::get<DuPacket>(payload->body).cause);
         auto &mem = _node.mem();
         auto &du2 = std::get<DuPacket>(payload->body);
         if (du2.dstFrame >= mem.frameCount())

@@ -337,6 +337,12 @@ NicBase::retransmit(RelChannel &ch, NodeId dst)
     ch.retxMaxSeq = std::max(ch.retxMaxSeq, ch.unacked.back()->seq);
     for (std::size_t i = 0; i < ch.unacked.size(); ++i) {
         stRetransmits.inc();
+        // The buffered copy still carries the original send's causal
+        // context, so the resend — and the eventual delivery — stay
+        // parented on the operation that first sent the packet.
+        if (causal::enabled())
+            causal::emitRetx(ch.unacked[i]->cause, int(nodeId()),
+                             sim.now());
         mesh::Packet copy = *ch.unacked[i];
         _net.send(std::move(copy));
     }

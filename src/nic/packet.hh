@@ -52,6 +52,9 @@ struct DuPacket
      * budget.
      */
     mesh::PacketLife life;
+
+    /** Causal context of the posting operation; see mesh::Packet. */
+    causal::CauseCtx cause;
 };
 
 /**
@@ -82,6 +85,9 @@ struct AuTrainPacket
 
     /** Lifecycle stamps; see DuPacket::life. */
     mesh::PacketLife life;
+
+    /** Causal context of the train-opening store; see mesh::Packet. */
+    causal::CauseCtx cause;
 };
 
 /**

@@ -112,6 +112,7 @@ ShrimpNic::post(const SendDesc &req)
     pkt.endOfMessage = req.endOfMessage;
     pkt.life = life;
     pkt.life.queued = sim.now(); // after any queue-full wait
+    pkt.cause = causal::current();
 
     duQueue.push_back(std::move(pkt));
     duQueueDst.push_back(entry.dstNode);
@@ -180,6 +181,7 @@ ShrimpNic::duEngineBody()
             mp2.life = std::get<DuPacket>(payload->body).life;
             if (mp2.life.id)
                 mp2.life.injected = sim.now();
+            mp2.cause = std::get<DuPacket>(payload->body).cause;
             mp2.payload = payload;
             netSend(std::move(mp2));
         });
@@ -238,6 +240,7 @@ ShrimpNic::auStore(const void *src, std::uint32_t bytes)
             train.life.id = lifecycle->nextId();
             train.life.born = sim.now();
         }
+        train.cause = causal::current();
     }
 
     AuWrite w;
@@ -354,6 +357,7 @@ ShrimpNic::flushTrain(AuTrain &train)
     pkt.interruptRequest = train.interruptRequest;
     pkt.life = train.life;
     pkt.life.queued = sim.now(); // NI-visible ordering point
+    pkt.cause = train.cause;
     ++auInFlight;
     pkt.applied = [this] {
         if (--auInFlight == 0)
@@ -383,6 +387,7 @@ ShrimpNic::flushTrain(AuTrain &train)
         mp.life = std::get<AuTrainPacket>(payload->body).life;
         if (mp.life.id)
             mp.life.injected = sim.now();
+        mp.cause = std::get<AuTrainPacket>(payload->body).cause;
         mp.payload = payload;
         netSend(std::move(mp));
     });
@@ -451,6 +456,10 @@ ShrimpNic::receive(const mesh::Packet &pkt)
         lifecycle->record(pkt.life.born, pkt.life.queued,
                           pkt.life.injected, pkt.life.delivered, start,
                           done);
+    if (pkt.life.id && causal::enabled())
+        causal::emitPacket(pkt.cause, int(nodeId()), pkt.life.born,
+                           pkt.life.queued, pkt.life.injected,
+                           pkt.life.delivered, start, done);
 
     if (trace_json::enabled())
         trace_json::completeEvent(
@@ -459,6 +468,18 @@ ShrimpNic::receive(const mesh::Packet &pkt)
                    data_bytes, pkt.src));
 
     sim.schedule(done - sim.now(), [this, payload] {
+        // Sends issued from inside the delivery chain (notification
+        // handlers and their replies) inherit the packet's carried
+        // context through the thread's event slot.
+        causal::CauseCtx cause;
+        if (causal::enabled()) {
+            if (auto *du = std::get_if<DuPacket>(&payload->body))
+                cause = du->cause;
+            else
+                cause = std::get<AuTrainPacket>(payload->body).cause;
+        }
+        causal::EventCtxScope cctx(cause);
+
         auto &mem = _node.mem();
         Delivery d;
         bool want_notify = false;

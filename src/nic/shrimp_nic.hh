@@ -140,6 +140,9 @@ class ShrimpNic : public NicBase
 
         /** Lifecycle stamps; born at the train's first snooped store. */
         mesh::PacketLife life;
+
+        /** Causal context of the train-opening store. */
+        causal::CauseCtx cause;
     };
 
     void duEngineBody();

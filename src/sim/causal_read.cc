@@ -1,0 +1,280 @@
+#include "sim/causal_read.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "sim/json_in.hh"
+#include "sim/logging.hh"
+
+namespace shrimp::causal_read
+{
+
+namespace
+{
+
+bool
+fail(std::string *err, std::string msg)
+{
+    if (err)
+        *err = std::move(msg);
+    return false;
+}
+
+std::uint64_t
+u64Of(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    return f && f->isNumber() ? std::uint64_t(f->number) : 0;
+}
+
+} // anonymous namespace
+
+std::string
+Span::layer() const
+{
+    std::size_t dot = name.find('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+const Span *
+Log::byId(std::uint64_t id) const
+{
+    auto it = idIndex.find(id);
+    return it == idIndex.end() ? nullptr : &spans[it->second];
+}
+
+const std::vector<std::size_t> &
+Log::childrenOf(std::uint64_t id) const
+{
+    auto it = childIndex.find(id);
+    return it == childIndex.end() ? noChildren : it->second;
+}
+
+void
+Log::reindex()
+{
+    idIndex.clear();
+    childIndex.clear();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        idIndex.emplace(spans[i].id, i);
+        if (spans[i].parent)
+            childIndex[spans[i].parent].push_back(i);
+    }
+}
+
+bool
+load(const std::string &path, Log &out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fail(err, "cannot open '" + path + "'");
+
+    out.spans.clear();
+    std::string line;
+    std::size_t lineno = 0;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        JsonValue v;
+        std::string jerr;
+        if (!parseJson(line, v, &jerr))
+            return fail(err, strfmt("%s:%zu: %s", path.c_str(), lineno,
+                                    jerr.c_str()));
+        if (!saw_header) {
+            const JsonValue *schema = v.find("causal_schema");
+            if (!schema || !schema->isNumber() || schema->number != 1)
+                return fail(err,
+                            path + ": missing causal_schema:1 header");
+            saw_header = true;
+            continue;
+        }
+        Span s;
+        s.id = u64Of(v, "id");
+        s.parent = u64Of(v, "parent");
+        s.trace = u64Of(v, "trace");
+        s.node = int(v.numberOr("node", -1));
+        if (const JsonValue *n = v.find("name"); n && n->isString())
+            s.name = n->str;
+        s.startPs = u64Of(v, "start_ps");
+        s.endPs = u64Of(v, "end_ps");
+        if (s.id == 0)
+            return fail(err, strfmt("%s:%zu: span without id",
+                                    path.c_str(), lineno));
+        out.spans.push_back(std::move(s));
+    }
+    if (!saw_header)
+        return fail(err, path + ": empty causal log");
+    out.reindex();
+    return true;
+}
+
+bool
+validate(const Log &log, std::string *err)
+{
+    for (const Span &s : log.spans) {
+        const Span *self = log.byId(s.id);
+        if (self != &s)
+            return fail(err, strfmt("duplicate span id %llu",
+                                    (unsigned long long)s.id));
+        if (s.endPs < s.startPs)
+            return fail(err,
+                        strfmt("span %llu ends before it starts",
+                               (unsigned long long)s.id));
+        if (!s.parent) {
+            if (s.trace != s.id)
+                return fail(
+                    err,
+                    strfmt("root span %llu has trace %llu (not itself)",
+                           (unsigned long long)s.id,
+                           (unsigned long long)s.trace));
+            continue;
+        }
+        const Span *p = log.byId(s.parent);
+        if (!p)
+            return fail(err,
+                        strfmt("span %llu: parent %llu not in log",
+                               (unsigned long long)s.id,
+                               (unsigned long long)s.parent));
+        if (s.trace != p->trace)
+            return fail(err,
+                        strfmt("span %llu: trace %llu differs from "
+                               "parent's %llu",
+                               (unsigned long long)s.id,
+                               (unsigned long long)s.trace,
+                               (unsigned long long)p->trace));
+        if (s.startPs < p->startPs)
+            return fail(err,
+                        strfmt("span %llu starts before its parent "
+                               "%llu",
+                               (unsigned long long)s.id,
+                               (unsigned long long)s.parent));
+    }
+    return true;
+}
+
+bool
+criticalPath(const Log &log, std::uint64_t root_id, CriticalPath &out,
+             std::string *err)
+{
+    const Span *root = log.byId(root_id);
+    if (!root)
+        return fail(err, strfmt("no span %llu in log",
+                                (unsigned long long)root_id));
+
+    out = CriticalPath{};
+    out.rootId = root->id;
+    out.rootName = root->name;
+    out.startPs = root->startPs;
+    out.endPs = root->endPs;
+    out.totalPs = root->durationPs();
+
+    // Collect the root's subtree with depths (BFS).
+    struct Node
+    {
+        const Span *span;
+        int depth;
+    };
+    std::vector<Node> subtree;
+    std::vector<std::pair<std::uint64_t, int>> work{{root->id, 0}};
+    while (!work.empty()) {
+        auto [id, depth] = work.back();
+        work.pop_back();
+        const Span *s = log.byId(id);
+        subtree.push_back(Node{s, depth});
+        for (std::size_t ci : log.childrenOf(id))
+            work.emplace_back(log.spans[ci].id, depth + 1);
+    }
+
+    // Segment [root.start, root.end] at every span boundary that
+    // falls inside it, then attribute each segment to the deepest
+    // covering span (ties: the latest-started, then highest id, so
+    // the choice is deterministic). The segments partition the root
+    // interval exactly.
+    std::vector<std::uint64_t> cuts{root->startPs, root->endPs};
+    for (const Node &n : subtree) {
+        if (n.span->startPs > root->startPs &&
+            n.span->startPs < root->endPs)
+            cuts.push_back(n.span->startPs);
+        if (n.span->endPs > root->startPs &&
+            n.span->endPs < root->endPs)
+            cuts.push_back(n.span->endPs);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::map<std::string, Attribution> byName;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        std::uint64_t lo = cuts[i], hi = cuts[i + 1];
+        if (lo == hi)
+            continue;
+        const Node *best = nullptr;
+        for (const Node &n : subtree) {
+            if (n.span->startPs > lo || n.span->endPs < hi)
+                continue; // does not cover the whole segment
+            if (!best || n.depth > best->depth ||
+                (n.depth == best->depth &&
+                 (n.span->startPs > best->span->startPs ||
+                  (n.span->startPs == best->span->startPs &&
+                   n.span->id > best->span->id))))
+                best = &n;
+        }
+        // The root always covers, so best is never null.
+        Attribution &a = byName[best->span->name];
+        a.name = best->span->name;
+        a.ps += hi - lo;
+        ++a.segments;
+    }
+
+    out.stages.reserve(byName.size());
+    for (auto &kv : byName)
+        out.stages.push_back(std::move(kv.second));
+    std::sort(out.stages.begin(), out.stages.end(),
+              [](const Attribution &a, const Attribution &b) {
+                  return a.ps != b.ps ? a.ps > b.ps : a.name < b.name;
+              });
+    return true;
+}
+
+const Span *
+findRoot(const Log &log, const std::string &name_substr)
+{
+    const Span *best = nullptr;
+    for (const Span &s : log.spans) {
+        if (name_substr.empty()) {
+            if (s.parent)
+                continue; // default mode considers trace roots only
+        } else if (s.name.find(name_substr) == std::string::npos) {
+            continue;
+        }
+        if (!best || s.durationPs() > best->durationPs() ||
+            (s.durationPs() == best->durationPs() && s.id < best->id))
+            best = &s;
+    }
+    return best;
+}
+
+std::vector<NameStat>
+packetStageStats(const Log &log)
+{
+    std::map<std::string, std::pair<std::uint64_t, double>> acc;
+    for (const Span &s : log.spans) {
+        if (s.name.rfind("pkt.", 0) != 0)
+            continue;
+        auto &a = acc[s.name];
+        ++a.first;
+        a.second += double(s.durationPs());
+    }
+    std::vector<NameStat> out;
+    out.reserve(acc.size());
+    for (const auto &kv : acc)
+        out.push_back(NameStat{kv.first, kv.second.first,
+                               kv.second.second /
+                                   double(kv.second.first)});
+    return out;
+}
+
+} // namespace shrimp::causal_read

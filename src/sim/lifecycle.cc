@@ -46,7 +46,7 @@ lifeStageHistName(LifeStage s)
 void
 LifecycleTracer::enable(StatsRegistry &stats)
 {
-    _enabled = true;
+    _histEnabled = true;
     for (std::size_t s = 0; s < std::size_t(LifeStage::kCount); ++s)
         hist[s] = &stats.logHistogram(kHistNames[s], kLoUs, kHiUs,
                                       kBuckets);
@@ -56,7 +56,7 @@ void
 LifecycleTracer::record(Tick born, Tick queued, Tick injected,
                         Tick delivered, Tick rx_start, Tick rx_done)
 {
-    if (!_enabled)
+    if (!_histEnabled)
         return;
     auto stage = [&](LifeStage s, Tick from, Tick to) {
         hist[std::size_t(s)]->sample(

@@ -34,6 +34,7 @@
 #ifndef SHRIMP_SIM_LIFECYCLE_HH
 #define SHRIMP_SIM_LIFECYCLE_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "sim/types.hh"
@@ -74,22 +75,43 @@ class LifecycleTracer
     /** Create the per-stage histograms in @p stats and start tracing. */
     void enable(StatsRegistry &stats);
 
-    bool enabled() const { return _enabled; }
+    /**
+     * Stamp packets but sample no histograms. Causal tracing
+     * (sim/causal.hh) needs the per-packet stamps without the
+     * histogram block: stamping mutates only packet metadata, so —
+     * unlike histogram mode, which the Cluster pins to serial
+     * execution — it is safe under the parallel engine, and the
+     * RunReport stays free of the latency_breakdown block.
+     */
+    void enableStamps() { _stampOnly = true; }
 
-    /** Next trace id (> 0). Call only when enabled. */
-    std::uint64_t nextId() { return ++lastId; }
+    bool enabled() const { return _histEnabled || _stampOnly; }
+
+    /**
+     * Next trace id (> 0). Call only when enabled. Atomic because in
+     * stamp-only mode NICs in different partitions mint concurrently;
+     * the ids never reach any serialized output in that mode, so the
+     * nondeterministic ordering is harmless (histogram mode runs
+     * serial and keeps the global send order).
+     */
+    std::uint64_t
+    nextId()
+    {
+        return lastId.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     /**
      * Record one delivered packet. The first four stamps come from
      * mesh::PacketLife; @p rx_start / @p rx_done bracket the
-     * receiving NI's DMA into memory.
+     * receiving NI's DMA into memory. No-op in stamp-only mode.
      */
     void record(Tick born, Tick queued, Tick injected, Tick delivered,
                 Tick rx_start, Tick rx_done);
 
   private:
-    bool _enabled = false;
-    std::uint64_t lastId = 0;
+    bool _histEnabled = false;
+    bool _stampOnly = false;
+    std::atomic<std::uint64_t> lastId{0};
     Histogram *hist[std::size_t(LifeStage::kCount)] = {};
 };
 

@@ -2,12 +2,54 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "sim/simulation.hh"
 
 namespace shrimp
 {
+
+namespace
+{
+
+LogLevel
+levelFromEnv()
+{
+    const char *e = std::getenv("SHRIMP_LOG");
+    if (!e || !*e)
+        return LogLevel::Info;
+    if (std::strcmp(e, "quiet") == 0 || std::strcmp(e, "0") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(e, "warn") == 0 || std::strcmp(e, "1") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(e, "info") == 0 || std::strcmp(e, "2") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(e, "debug") == 0 || std::strcmp(e, "3") == 0)
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "warn: SHRIMP_LOG='%s' is not quiet|warn|info|debug; "
+                 "using info\n",
+                 e);
+    return LogLevel::Info;
+}
+
+// Resolved once; setLogLevel overrides.
+LogLevel g_level = levelFromEnv();
+
+} // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -58,6 +100,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (g_level < LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
@@ -68,11 +112,25 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (g_level < LogLevel::Info)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 namespace trace

@@ -6,6 +6,12 @@
  * fatal()  - a user/configuration error; the simulation cannot continue.
  * warn()   - questionable behaviour that might still work.
  * inform() - plain status output.
+ * debug()  - diagnostic detail, off by default.
+ *
+ * warn/inform/debug are filtered by a process-wide log level, set
+ * once from SHRIMP_LOG ("quiet", "warn", "info" (default), "debug",
+ * or the matching 0-3) or programmatically via setLogLevel().
+ * panic/fatal always print — errors are never filtered.
  */
 
 #ifndef SHRIMP_SIM_LOGGING_HH
@@ -32,12 +38,31 @@ std::string strfmt(const char *fmt, ...)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report questionable-but-survivable behaviour. */
+/** Verbosity of warn/inform/debug, in increasing order. */
+enum class LogLevel
+{
+    Quiet = 0, //!< errors only (panic/fatal)
+    Warn = 1,  //!< + warn()
+    Info = 2,  //!< + inform() — the default
+    Debug = 3, //!< + debug()
+};
+
+/** The active log level (first call resolves SHRIMP_LOG). */
+LogLevel logLevel();
+
+/** Override the log level (wins over SHRIMP_LOG). */
+void setLogLevel(LogLevel level);
+
+/** Report questionable-but-survivable behaviour (level >= Warn). */
 void warn(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report normal status. */
+/** Report normal status (level >= Info). */
 void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report diagnostic detail (level >= Debug, i.e. off by default). */
+void debug(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**

@@ -1,12 +1,31 @@
 #include "sim/parallel.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
 namespace shrimp
 {
+
+namespace
+{
+
+/** Host-clock nanoseconds spent in one barrier arrive_and_wait. */
+template <typename Barrier>
+std::uint64_t
+timedWait(Barrier &gate)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    gate.arrive_and_wait();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+}
+
+} // anonymous namespace
 
 ParallelEngine::ParallelEngine(Simulation &sim, int partitions) : sim(sim)
 {
@@ -63,6 +82,17 @@ ParallelEngine::executedEvents() const
     return n;
 }
 
+std::vector<ParallelEngine::WorkerStats>
+ParallelEngine::workerStats() const
+{
+    std::vector<WorkerStats> out;
+    out.reserve(shards.size());
+    for (const auto &s : shards)
+        out.push_back(
+            WorkerStats{s->windows, s->q.executed(), s->barrierWaitNs});
+    return out;
+}
+
 void
 ParallelEngine::runShardWindow(int shard)
 {
@@ -77,18 +107,20 @@ ParallelEngine::runShardWindow(int shard)
     setExecContext(&s.ctx);
     s.q.runWindow(_windowEnd, s.log, s.ctx.cursor);
     setExecContext(nullptr);
+    ++s.windows;
 }
 
 void
 ParallelEngine::workerLoop(int shard)
 {
     Simulation::beginEngineThread(&sim);
+    Shard &s = *shards[shard];
     for (;;) {
-        gate->arrive_and_wait();
+        s.barrierWaitNs += timedWait(*gate);
         if (_exit)
             break;
         runShardWindow(shard);
-        gate->arrive_and_wait();
+        s.barrierWaitNs += timedWait(*gate);
     }
     Simulation::endEngineThread(&sim);
 }
@@ -264,9 +296,9 @@ ParallelEngine::run(Tick lookahead)
         if (mainWhen < end)
             end = mainWhen;
         _windowEnd = end;
-        gate->arrive_and_wait();
+        shards[0]->barrierWaitNs += timedWait(*gate);
         runShardWindow(0);
-        gate->arrive_and_wait();
+        shards[0]->barrierWaitNs += timedWait(*gate);
 
         bool sends = false;
         for (const auto &s : shards)

@@ -132,6 +132,24 @@ class ParallelEngine
     /** Executed events over the main queue and every partition. */
     std::uint64_t executedEvents() const;
 
+    /**
+     * Host-side per-partition profile of the last run: lookahead
+     * windows executed, simulation events executed, and wall-clock
+     * nanoseconds the partition's thread spent blocked on the epoch
+     * barrier (idle/imbalance time). Measured with the host clock, so
+     * values vary run to run; they never feed back into simulated
+     * time.
+     */
+    struct WorkerStats
+    {
+        std::uint64_t windows = 0;
+        std::uint64_t events = 0;
+        std::uint64_t barrierWaitNs = 0;
+    };
+
+    /** One entry per partition (index == partition). */
+    std::vector<WorkerStats> workerStats() const;
+
   private:
     struct Deferred
     {
@@ -151,6 +169,8 @@ class ParallelEngine
         std::vector<std::uint64_t> rankOf; //!< local index -> rank
         ExecContext ctx;
         std::size_t merged = 0; //!< log entries consumed by merge
+        std::uint64_t windows = 0;       //!< windows executed (host)
+        std::uint64_t barrierWaitNs = 0; //!< epoch-barrier wait (host)
     };
 
     void mergeLogs();

@@ -3,11 +3,38 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace shrimp
 {
+
+void
+fillHostRusage(RunReport::HostPerf &h)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return;
+    auto secs = [](const timeval &tv) {
+        return double(tv.tv_sec) + double(tv.tv_usec) * 1e-6;
+    };
+    h.userSeconds = secs(ru.ru_utime);
+    h.sysSeconds = secs(ru.ru_stime);
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    h.maxRssKb = std::uint64_t(ru.ru_maxrss) / 1024;
+#else
+    h.maxRssKb = std::uint64_t(ru.ru_maxrss);
+#endif
+#else
+    (void)h;
+#endif
+}
 
 namespace
 {
@@ -53,6 +80,20 @@ RunReport::writeJson(std::ostream &os, bool pretty) const
         w.field("wall_seconds", host.wallSeconds);
         w.field("events", host.events);
         w.field("events_per_sec", host.eventsPerSec);
+        w.field("user_seconds", host.userSeconds);
+        w.field("sys_seconds", host.sysSeconds);
+        w.field("max_rss_kb", host.maxRssKb);
+        if (!host.partitions.empty()) {
+            w.beginArray("partitions");
+            for (const auto &p : host.partitions) {
+                w.beginObject();
+                w.field("windows", p.windows);
+                w.field("events", p.events);
+                w.field("barrier_wait_ns", p.barrierWaitNs);
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.endObject();
     }
 

@@ -70,6 +70,23 @@ struct RunReport
         double wallSeconds = 0;       //!< host wall time of the run
         std::uint64_t events = 0;     //!< events executed by the run
         double eventsPerSec = 0;      //!< events / wallSeconds
+        double userSeconds = 0;       //!< getrusage: user CPU time
+        double sysSeconds = 0;        //!< getrusage: system CPU time
+        std::uint64_t maxRssKb = 0;   //!< getrusage: peak RSS
+
+        /**
+         * Per-partition profile of a parallel run (one entry per
+         * worker, shard order): sync windows executed, events
+         * executed, and host nanoseconds spent waiting at the epoch
+         * barriers. Empty for serial runs.
+         */
+        struct Partition
+        {
+            std::uint64_t windows = 0;
+            std::uint64_t events = 0;
+            std::uint64_t barrierWaitNs = 0;
+        };
+        std::vector<Partition> partitions;
     };
     HostPerf host;
 
@@ -134,6 +151,14 @@ struct RunReport
     /** Write a pretty report to @p path (fatal on I/O error). */
     void writeFile(const std::string &path) const;
 };
+
+/**
+ * Fill @p h's CPU-time and memory fields from getrusage(RUSAGE_SELF)
+ * (no-op where unavailable). Wall time, events, and partitions stay
+ * the caller's job — rusage covers the whole process, which is the
+ * right scope for the soak/perf trajectory the host block tracks.
+ */
+void fillHostRusage(RunReport::HostPerf &h);
 
 } // namespace shrimp
 

@@ -51,6 +51,15 @@ class Process
      */
     int domain() const { return _domain; }
 
+    /**
+     * Causal-trace context of the operation this process is currently
+     * executing (sim/causal.hh): it lives on the process so it travels
+     * with the fiber across suspends. Managed by causal::OpSpan; both
+     * zero outside a traced operation.
+     */
+    std::uint64_t causeTrace = 0;
+    std::uint64_t causeSpan = 0;
+
   private:
     friend class Simulation;
     friend class ParallelEngine;

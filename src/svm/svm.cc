@@ -7,6 +7,7 @@
 #include "core/collective.hh"
 #include "svm/diff.hh"
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/trace_json.hh"
 
@@ -551,6 +552,7 @@ SvmRuntime::fetchPage(int rank, PageId page)
     core::Endpoint &ep = cluster.vmmc(rank);
     cluster.node(rank).cpu().sync(); // close out compute time first
     ScopedCategory cat(&rs.account, TimeCategory::Communication);
+    causal::OpSpan span(rank, "svm.fault");
     rs.stFaults.inc();
     ++rs.faultCount;
 
@@ -735,6 +737,7 @@ SvmRuntime::releaseInterval(int rank)
 
     cluster.node(rank).cpu().sync();
     ScopedCategory cat(&rs.account, TimeCategory::Overhead);
+    causal::OpSpan span(rank, "svm.release");
 
     // Capture diffs for still-dirty twinned pages.
     std::vector<PageId> interval_pages;
@@ -830,6 +833,7 @@ SvmRuntime::lock(int rank, int id)
     core::Endpoint &ep = cluster.vmmc(rank);
     cluster.node(rank).cpu().sync();
     ScopedCategory cat(&rs.account, TimeCategory::Lock);
+    causal::OpSpan span(rank, "svm.lock");
     rs.lastOp = "lock";
     rs.lastArg = id;
     rs.stLockAcquires.inc();
@@ -947,6 +951,7 @@ SvmRuntime::barrier(int rank)
     releaseInterval(rank);
 
     ScopedCategory cat(&rs.account, TimeCategory::Barrier);
+    causal::OpSpan span(rank, "svm.barrier");
     rs.stBarriers.inc();
 
     rs.lastOp = "barrier";
@@ -1106,6 +1111,9 @@ SvmRuntime::handleCtl(int rank, NodeId src, std::uint32_t offset,
 
     rs.handlerActive = h.kind;
     ++rs.handlersRun;
+    // Parented on the requesting packet's context (handleCtl runs
+    // from the notification dispatcher under its EventCtxScope).
+    causal::OpSpan span(rank, "svm.serve");
     Tick handler_start = cluster.sim().now();
     cpu.compute(cfg.handlerCost);
     cpu.sync();

@@ -14,14 +14,24 @@
  *     peak of every sampled gauge);
  *   - run identity (app, processors, elapsed, messages).
  *
+ * Causal trace logs (`shrimp_run --causal` / SHRIMP_CAUSAL) are
+ * sniffed the same way; --critical-path reconstructs the span DAG of
+ * one operation (--op picks it by name substring, default: the
+ * longest coll.reduce span, else the longest trace root) and prints
+ * an exact per-layer attribution of its interval, plus the aggregate
+ * packet-stage means for cross-checking against the lifecycle
+ * latency_breakdown block.
+ *
  * With --validate it only checks the documents against the published
- * schemas (RunReport schema_version 3, metrics_schema 1) and exits
- * nonzero on the first violation — CI runs this over every artifact.
+ * schemas (RunReport schema_version 3, metrics_schema 1, causal_schema
+ * 1 + span-DAG invariants) and exits nonzero on the first violation —
+ * CI runs this over every artifact.
  *
  * Examples:
  *   shrimp_analyze report.json
  *   shrimp_analyze metrics.jsonl
- *   shrimp_analyze --validate report.json metrics.jsonl
+ *   shrimp_analyze --critical-path --op bsp.sync causal.jsonl
+ *   shrimp_analyze --validate report.json metrics.jsonl causal.jsonl
  */
 
 #include <cstdio>
@@ -31,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/causal_read.hh"
 #include "sim/json_in.hh"
 #include "sim/report_schema.hh"
 
@@ -42,12 +53,24 @@ namespace
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: shrimp_analyze [--validate] FILE...\n"
-                 "\n"
-                 "FILEs may be RunReport JSON documents, RunReport\n"
-                 "JSONL streams, or metrics JSONL time series; the\n"
-                 "format is sniffed per file.\n");
+    std::fprintf(
+        stderr,
+        "usage: shrimp_analyze [--validate] [--critical-path]\n"
+        "                      [--op SUBSTR] FILE...\n"
+        "\n"
+        "FILEs may be RunReport JSON documents, RunReport JSONL\n"
+        "streams, metrics JSONL time series, or causal trace logs\n"
+        "(shrimp_run --causal); the format is sniffed per file.\n"
+        "\n"
+        "  --critical-path  reconstruct the span DAG of one operation\n"
+        "                   in each causal log and print its exact\n"
+        "                   per-layer time attribution\n"
+        "  --op SUBSTR      pick the operation: the longest span whose\n"
+        "                   name contains SUBSTR (default: the longest\n"
+        "                   coll.reduce span, else the longest trace\n"
+        "                   root)\n"
+        "  --validate       schema/invariant checks only; exit nonzero\n"
+        "                   on the first violation\n");
     std::exit(2);
 }
 
@@ -202,12 +225,128 @@ printMetricsSummary(const std::vector<std::string> &lines,
 }
 
 // ----------------------------------------------------------------------
+// Causal trace analysis
+// ----------------------------------------------------------------------
+
+/** --critical-path: breakdown of one operation's span subtree. */
+bool
+printCriticalPath(const causal_read::Log &log, const std::string &op,
+                  const std::string &path)
+{
+    // Default: the longest collective (the barrier is the natural
+    // "one operation" of every Table-1 app), else the longest root.
+    const causal_read::Span *root = nullptr;
+    if (!op.empty()) {
+        root = causal_read::findRoot(log, op);
+        if (!root) {
+            std::fprintf(stderr, "%s: no span matching '%s'\n",
+                         path.c_str(), op.c_str());
+            return false;
+        }
+    } else {
+        root = causal_read::findRoot(log, "coll.reduce");
+        if (!root)
+            root = causal_read::findRoot(log, "");
+        if (!root) {
+            std::fprintf(stderr, "%s: no spans\n", path.c_str());
+            return false;
+        }
+    }
+
+    causal_read::CriticalPath cp;
+    std::string err;
+    if (!causal_read::criticalPath(log, root->id, cp, &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return false;
+    }
+
+    std::printf("critical path: %s  span=%llu node=%d  "
+                "[%.3f .. %.3f us]  total=%.3f us\n",
+                cp.rootName.c_str(), (unsigned long long)cp.rootId,
+                root->node, double(cp.startPs) * 1e-6,
+                double(cp.endPs) * 1e-6, double(cp.totalPs) * 1e-6);
+    std::printf("  %-18s %10s %7s %9s\n", "stage", "us", "pct",
+                "segments");
+    std::uint64_t sum = 0;
+    for (const auto &a : cp.stages) {
+        sum += a.ps;
+        std::printf("  %-18s %10.3f %6.1f%% %9llu\n", a.name.c_str(),
+                    double(a.ps) * 1e-6,
+                    cp.totalPs ? 100.0 * double(a.ps) /
+                                     double(cp.totalPs)
+                               : 0.0,
+                    (unsigned long long)a.segments);
+    }
+    std::printf("  stage sum: %.3f us vs operation total %.3f us "
+                "(%s)\n",
+                double(sum) * 1e-6, double(cp.totalPs) * 1e-6,
+                sum == cp.totalPs ? "exact" : "MISMATCH");
+    return sum == cp.totalPs;
+}
+
+/** Aggregate pkt.* stage means — lifecycle-histogram cross-check. */
+void
+printPacketStages(const causal_read::Log &log)
+{
+    auto stats = causal_read::packetStageStats(log);
+    if (stats.empty())
+        return;
+    std::printf("packet stages (causal log aggregate):\n");
+    std::printf("  %-18s %8s %9s\n", "stage", "count", "mean_us");
+    double sum = 0, total = 0;
+    for (const auto &s : stats) {
+        if (s.name == "pkt.total")
+            total = s.meanPs;
+        else
+            sum += s.meanPs;
+        std::printf("  %-18s %8llu %9.3f\n", s.name.c_str(),
+                    (unsigned long long)s.count, s.meanPs * 1e-6);
+    }
+    if (total > 0)
+        std::printf("  stage mean sum: %.3f us vs pkt.total mean "
+                    "%.3f us (%+.1f%%)\n",
+                    sum * 1e-6, total * 1e-6,
+                    100.0 * (sum - total) / total);
+}
+
+/** A causal trace log: validate always, analyze unless --validate. */
+bool
+processCausal(const std::string &path, bool validate_only,
+              bool critical_path, const std::string &op)
+{
+    causal_read::Log log;
+    std::string err;
+    if (!causal_read::load(path, log, &err) ||
+        !causal_read::validate(log, &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return false;
+    }
+    if (validate_only && !critical_path) {
+        std::printf("%s: OK (causal, %zu spans)\n", path.c_str(),
+                    log.spans.size());
+        return true;
+    }
+
+    std::size_t traces = 0;
+    for (const auto &s : log.spans)
+        traces += s.parent == 0;
+    std::printf("causal log: %zu spans in %zu traces\n",
+                log.spans.size(), traces);
+    bool ok = true;
+    if (critical_path)
+        ok = printCriticalPath(log, op, path);
+    printPacketStages(log);
+    return ok;
+}
+
+// ----------------------------------------------------------------------
 // Per-file driver
 // ----------------------------------------------------------------------
 
 /** Process one file; returns false on any parse/validation failure. */
 bool
-processFile(const std::string &path, bool validate_only)
+processFile(const std::string &path, bool validate_only,
+            bool critical_path, const std::string &op)
 {
     std::string text;
     if (!readFile(path, text)) {
@@ -220,6 +359,11 @@ processFile(const std::string &path, bool validate_only)
     JsonValue whole;
     if (parseJson(text, whole)) {
         std::string err;
+        // A header-only causal log (a run that emitted no spans) is a
+        // single JSON object too.
+        if (whole.find("causal_schema"))
+            return processCausal(path, validate_only, critical_path,
+                                 op);
         if (whole.find("metrics_schema")) {
             std::istringstream in(text);
             if (!validateMetricsJsonl(in, &err)) {
@@ -256,6 +400,9 @@ processFile(const std::string &path, bool validate_only)
         std::fprintf(stderr, "%s:1: %s\n", path.c_str(), err.c_str());
         return false;
     }
+
+    if (first.find("causal_schema"))
+        return processCausal(path, validate_only, critical_path, op);
 
     if (first.find("metrics_schema")) {
         std::istringstream in(text);
@@ -301,12 +448,20 @@ int
 main(int argc, char **argv)
 {
     bool validate_only = false;
+    bool critical_path = false;
+    std::string op;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--validate") == 0)
             validate_only = true;
-        else if (std::strcmp(argv[i], "--help") == 0 ||
-                 std::strcmp(argv[i], "-h") == 0)
+        else if (std::strcmp(argv[i], "--critical-path") == 0)
+            critical_path = true;
+        else if (std::strcmp(argv[i], "--op") == 0) {
+            if (++i >= argc)
+                usage();
+            op = argv[i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0)
             usage();
         else if (argv[i][0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
@@ -321,7 +476,8 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < files.size(); ++i) {
         if (i && !validate_only)
             std::printf("\n");
-        ok = processFile(files[i], validate_only) && ok;
+        ok = processFile(files[i], validate_only, critical_path, op) &&
+             ok;
     }
     return ok ? 0 : 1;
 }

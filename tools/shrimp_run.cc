@@ -16,6 +16,7 @@
  * --trace records a Chrome trace_event timeline (see README).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "apps/render.hh"
 #include "mesh/topology.hh"
 #include "nic/nic_kind.hh"
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/run_report.hh"
 #include "sim/trace_json.hh"
@@ -99,6 +101,10 @@ usage(const char *argv0)
         "  --metrics-interval-us N   sampling cadence (default 10)\n"
         "  --lifecycle        per-packet latency attribution; adds the\n"
         "                     latency_breakdown block to the report\n"
+        "  --causal FILE      record the causal trace (parent-linked\n"
+        "                     spans, JSONL); feed it to shrimp_analyze\n"
+        "                     --critical-path (SHRIMP_CAUSAL sets the\n"
+        "                     same knob)\n"
         "\n"
         "host execution:\n"
         "  --threads N        worker threads for intra-run parallelism\n"
@@ -106,6 +112,10 @@ usage(const char *argv0)
         "                     are bit-identical to --threads 1; the\n"
         "                     SHRIMP_THREADS environment variable sets\n"
         "                     the same knob)\n"
+        "  --watchdog-secs N  soak watchdog: dump progress state to\n"
+        "                     stderr when simulated time stalls for N\n"
+        "                     real seconds (SIGUSR1 dumps on demand;\n"
+        "                     SHRIMP_WATCHDOG_SECS sets the same knob)\n"
         "  --list-apps        print the app names and exit\n"
         "",
         argv0);
@@ -127,6 +137,7 @@ struct Options
     std::uint64_t seed = 0;
     std::string statsJson; //!< --stats-json destination, empty = off
     std::string traceFile; //!< --trace destination, empty = off
+    std::string causalFile; //!< --causal destination, empty = off
     std::string metricsFile; //!< --metrics destination, empty = off
     bool threadsGiven = false; //!< --threads appeared explicitly
     bool meshGiven = false;    //!< --mesh appeared explicitly
@@ -259,6 +270,8 @@ Options::parse(int argc, char **argv)
             o.statsJson = need(i);
         } else if (a == "--trace") {
             o.traceFile = need(i);
+        } else if (a == "--causal") {
+            o.causalFile = need(i);
         } else if (a == "--metrics") {
             o.metricsFile = need(i);
         } else if (a == "--metrics-interval-us") {
@@ -269,6 +282,8 @@ Options::parse(int argc, char **argv)
         } else if (a == "--threads") {
             o.cluster.threads = std::atoi(need(i));
             o.threadsGiven = true;
+        } else if (a == "--watchdog-secs") {
+            o.cluster.watchdogSecs = std::atoi(need(i));
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          a.c_str());
@@ -380,10 +395,17 @@ main(int argc, char **argv)
 
     if (!o.traceFile.empty())
         trace_json::open(o.traceFile);
+    if (!o.causalFile.empty())
+        causal::open(o.causalFile);
 
+    auto t0 = std::chrono::steady_clock::now();
     AppResult r = runApp(o);
+    r.hostWallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
 
     trace_json::close();
+    causal::close();
 
     std::printf("app:            %s\n", r.name.c_str());
     std::printf("processors:     %d\n", r.nprocs);
@@ -435,6 +457,20 @@ main(int argc, char **argv)
             r.param("cli_fault_outages", f.outages.size());
         }
         RunReport rep = makeReport(r);
+        // Host-side timing is non-deterministic, so it rides in the
+        // report only on request — same gate the bench harness uses.
+        if (const char *e = std::getenv("SHRIMP_REPORT_HOST");
+            e && *e && std::strcmp(e, "0") != 0) {
+            rep.host.enabled = true;
+            rep.host.wallSeconds = r.hostWallSeconds;
+            rep.host.events = r.hostEvents;
+            rep.host.eventsPerSec =
+                r.hostWallSeconds > 0
+                    ? double(r.hostEvents) / r.hostWallSeconds
+                    : 0;
+            rep.host.partitions = r.engineStats;
+            fillHostRusage(rep.host);
+        }
         rep.writeFile(o.statsJson);
         std::printf("report:         %s\n", o.statsJson.c_str());
     }

@@ -240,6 +240,7 @@ maybeEmitReport(const apps::AppResult &r)
                                     ? double(r.hostEvents) /
                                           r.hostWallSeconds
                                     : 0;
+        rep.host.fiberSwitches = r.hostFiberSwitches;
         rep.host.partitions = r.engineStats;
         fillHostRusage(rep.host);
     }

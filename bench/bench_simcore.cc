@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <ucontext.h>
+
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -128,6 +130,55 @@ BM_FiberSwitch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_FiberSwitch);
+
+/**
+ * The bare context switch, no event queue: one resume into a fiber
+ * that immediately yields, so every iteration is exactly two
+ * transfers. This isolates the cost BM_FiberSwitch dilutes with
+ * scheduling — the number the assembly switch path exists to shrink
+ * (a ucontext transfer pays a sigprocmask syscall; the fcontext one
+ * is a few dozen register moves in user space).
+ */
+void
+BM_FiberSwitchRaw(benchmark::State &state)
+{
+    Fiber f(FiberBody([] {
+        for (;;)
+            Fiber::current()->yield();
+    }));
+    for (auto _ : state)
+        f.resume();
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitchRaw);
+
+/**
+ * The old fiber engine measured directly: a raw swapcontext
+ * ping-pong, independent of how the build's Fiber is configured.
+ * Keeps the before/after comparison in one binary — compare against
+ * BM_FiberSwitchRaw to see what retiring the per-switch sigprocmask
+ * bought on this host.
+ */
+void
+BM_UcontextSwitchBaseline(benchmark::State &state)
+{
+    static ucontext_t mainCtx, fiberCtx;
+    static std::vector<unsigned char> stack(64 * 1024);
+    static auto trampoline = +[]() {
+        for (;;)
+            swapcontext(&fiberCtx, &mainCtx);
+    };
+    if (getcontext(&fiberCtx) != 0)
+        state.SkipWithError("getcontext failed");
+    fiberCtx.uc_stack.ss_sp = stack.data();
+    fiberCtx.uc_stack.ss_size = stack.size();
+    fiberCtx.uc_link = nullptr;
+    makecontext(&fiberCtx, reinterpret_cast<void (*)()>(trampoline), 0);
+    for (auto _ : state)
+        swapcontext(&mainCtx, &fiberCtx);
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_UcontextSwitchBaseline);
 
 /**
  * The per-packet mesh datapath in isolation: a self-paced driver

@@ -62,6 +62,14 @@ struct AppResult
     std::uint64_t hostEvents = 0;
 
     /**
+     * Fiber context transfers the run's processes performed
+     * (Simulation::fiberSwitchTotal) — deterministic, but reported
+     * only in the host block because it describes the simulator, not
+     * the simulated machine.
+     */
+    std::uint64_t hostFiberSwitches = 0;
+
+    /**
      * Per-partition engine profile when the run used the parallel
      * engine (Cluster::engineStats); empty for serial runs.
      */
@@ -105,12 +113,13 @@ captureStats(AppResult &result, core::Cluster &cluster)
 {
     result.stats = cluster.sim().stats();
     result.hostEvents = cluster.sim().executedEvents();
+    result.hostFiberSwitches = cluster.sim().fiberSwitchTotal();
     result.metrics = cluster.metrics().series();
     result.metricsInterval = cluster.config().metricsInterval;
     result.engineStats.clear();
     for (const auto &ws : cluster.engineStats())
         result.engineStats.push_back(
-            {ws.windows, ws.events, ws.barrierWaitNs});
+            {ws.windows, ws.events, ws.barrierWaitNs, ws.fiberSwitches});
 }
 
 /** Assemble the machine-readable report for a finished run. */

@@ -293,6 +293,8 @@ Cluster::run()
         _config.network.transceiverLatency + _config.network.hopLatency;
     _sim.runParallel(lookahead);
     _engineStats = eng->workerStats();
+    for (int d = 0; d < int(_engineStats.size()); ++d)
+        _engineStats[d].fiberSwitches = _sim.fiberSwitchesByDomain(d);
     _network->setParallel(nullptr, {});
     _network->pool().setShared(false);
 }

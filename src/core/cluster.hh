@@ -174,11 +174,12 @@ class Cluster
     const ClusterConfig &config() const { return _config; }
 
     /** Convenience: spawn an application process on node @p i. */
+    template <class F>
     Process *
-    spawnOn(int i, const std::string &name, std::function<void()> body)
+    spawnOn(int i, const std::string &name, F &&body)
     {
         _sim.setSpawnDomainHint(domainForNode(i));
-        Process *p = node(i).spawnProcess(name, std::move(body));
+        Process *p = node(i).spawnProcess(name, std::forward<F>(body));
         _sim.setSpawnDomainHint(-1);
         return p;
     }

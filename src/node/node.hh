@@ -60,12 +60,14 @@ class Node
 
     /**
      * Spawn an application process bound to this node, named
-     * "<node>.<name>", with the configured stack size.
+     * "<node>.<name>", with the configured stack size. The body is
+     * stored inline (FiberBody) — no per-process heap allocation.
      */
+    template <class F>
     Process *
-    spawnProcess(const std::string &name, std::function<void()> body)
+    spawnProcess(const std::string &name, F &&body)
     {
-        return sim.spawn(_name + "." + name, std::move(body),
+        return sim.spawn(_name + "." + name, std::forward<F>(body),
                          _params.processStackBytes);
     }
 

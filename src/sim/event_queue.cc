@@ -6,7 +6,7 @@
 namespace shrimp
 {
 
-thread_local ExecContext *tls_exec = nullptr;
+constinit thread_local ExecContext *tls_exec = nullptr;
 
 EventQueue::~EventQueue()
 {

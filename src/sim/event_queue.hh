@@ -435,7 +435,15 @@ struct ExecContext
     bool window = false; //!< inside a parallel window (vs serial step)
 };
 
-extern thread_local ExecContext *tls_exec;
+/*
+ * `constinit` matters here: without it GCC must emit the lazy-init
+ * wrapper (`_ZTH*`) guard before every access from another TU, and
+ * gcc 12's -fsanitize=null check after that guard branch consumes
+ * stale flags (mov/lea set none), aborting with a spurious "load of
+ * null pointer".  Constant init drops the wrapper entirely, which is
+ * also a shorter code path for a read that sits on the event hot loop.
+ */
+extern constinit thread_local ExecContext *tls_exec;
 
 /*
  * A thread-local cannot race: only its owning OS thread ever touches

@@ -145,6 +145,14 @@ class ParallelEngine
         std::uint64_t windows = 0;
         std::uint64_t events = 0;
         std::uint64_t barrierWaitNs = 0;
+
+        /**
+         * Fiber context transfers by this partition's processes.
+         * Unlike the host-clock fields this is deterministic (a pure
+         * function of simulated execution); filled by the Cluster
+         * from Simulation::fiberSwitchesByDomain after the run.
+         */
+        std::uint64_t fiberSwitches = 0;
     };
 
     /** One entry per partition (index == partition). */

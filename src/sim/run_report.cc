@@ -7,6 +7,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "sim/fiber.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 
@@ -34,6 +35,10 @@ fillHostRusage(RunReport::HostPerf &h)
 #else
     (void)h;
 #endif
+    // Probe the stack registry before the calibration ping-pong so
+    // the scratch fiber's pages cannot contribute to the mark.
+    h.fiberStackHwmBytes = FiberStack::globalHighWaterBytes();
+    h.fiberSwitchNs = Fiber::measureSwitchNs();
 }
 
 namespace
@@ -83,6 +88,9 @@ RunReport::writeJson(std::ostream &os, bool pretty) const
         w.field("user_seconds", host.userSeconds);
         w.field("sys_seconds", host.sysSeconds);
         w.field("max_rss_kb", host.maxRssKb);
+        w.field("fiber_switches", host.fiberSwitches);
+        w.field("fiber_switch_ns", host.fiberSwitchNs);
+        w.field("fiber_stack_hwm_bytes", host.fiberStackHwmBytes);
         if (!host.partitions.empty()) {
             w.beginArray("partitions");
             for (const auto &p : host.partitions) {
@@ -90,6 +98,7 @@ RunReport::writeJson(std::ostream &os, bool pretty) const
                 w.field("windows", p.windows);
                 w.field("events", p.events);
                 w.field("barrier_wait_ns", p.barrierWaitNs);
+                w.field("fiber_switches", p.fiberSwitches);
                 w.endObject();
             }
             w.endArray();

@@ -75,6 +75,27 @@ struct RunReport
         std::uint64_t maxRssKb = 0;   //!< getrusage: peak RSS
 
         /**
+         * Fiber context transfers performed by the run's processes
+         * (Simulation::fiberSwitchTotal). Deterministic — identical
+         * serial vs parallel — but host metadata, so it lives here.
+         */
+        std::uint64_t fiberSwitches = 0;
+
+        /**
+         * Calibrated cost of one fiber transfer on this host in
+         * nanoseconds (Fiber::measureSwitchNs ping-pong at report
+         * time); with fiberSwitches it bounds the run's switch bill.
+         */
+        double fiberSwitchNs = 0;
+
+        /**
+         * Deepest fiber-stack use observed process-wide
+         * (FiberStack::globalHighWaterBytes): resident-page probe of
+         * live stacks plus the retired maximum. Guides stack sizing.
+         */
+        std::uint64_t fiberStackHwmBytes = 0;
+
+        /**
          * Per-partition profile of a parallel run (one entry per
          * worker, shard order): sync windows executed, events
          * executed, and host nanoseconds spent waiting at the epoch
@@ -85,6 +106,7 @@ struct RunReport
             std::uint64_t windows = 0;
             std::uint64_t events = 0;
             std::uint64_t barrierWaitNs = 0;
+            std::uint64_t fiberSwitches = 0;
         };
         std::vector<Partition> partitions;
     };
@@ -153,10 +175,13 @@ struct RunReport
 };
 
 /**
- * Fill @p h's CPU-time and memory fields from getrusage(RUSAGE_SELF)
- * (no-op where unavailable). Wall time, events, and partitions stay
- * the caller's job — rusage covers the whole process, which is the
- * right scope for the soak/perf trajectory the host block tracks.
+ * Fill @p h's process-wide fields: CPU time and memory from
+ * getrusage(RUSAGE_SELF) (no-op where unavailable), the fiber-stack
+ * high-water mark, and the calibrated per-switch cost. Wall time,
+ * events, switch counts, and partitions stay the caller's job —
+ * those are per-run, while rusage and the stack registry cover the
+ * whole process, which is the right scope for the soak/perf
+ * trajectory the host block tracks.
  */
 void fillHostRusage(RunReport::HostPerf &h);
 

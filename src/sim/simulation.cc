@@ -17,8 +17,8 @@ thread_local std::vector<Simulation *> live_simulations;
 
 } // anonymous namespace
 
-Process::Process(Simulation &sim, std::string name,
-                 std::function<void()> body, std::size_t stack_bytes)
+Process::Process(Simulation &sim, std::string name, FiberBody body,
+                 std::size_t stack_bytes)
     : sim(sim), _name(std::move(name)),
       fiber(std::move(body), stack_bytes)
 {
@@ -153,9 +153,31 @@ Simulation::unfinishedProcesses() const
     return names;
 }
 
+std::uint64_t
+Simulation::fiberSwitchTotal()
+{
+    std::lock_guard<std::mutex> lock(_processMutex);
+    std::uint64_t n = 0;
+    for (const auto &p : processes)
+        n += p->fiber.switches();
+    return n;
+}
+
+std::uint64_t
+Simulation::fiberSwitchesByDomain(int domain)
+{
+    std::lock_guard<std::mutex> lock(_processMutex);
+    std::uint64_t n = 0;
+    for (const auto &p : processes) {
+        if (p->_domain == domain)
+            n += p->fiber.switches();
+    }
+    return n;
+}
+
 Process *
-Simulation::spawn(std::string name, std::function<void()> body,
-                  std::size_t stack_bytes)
+Simulation::spawnImpl(std::string name, FiberBody body,
+                      std::size_t stack_bytes)
 {
     auto proc = std::unique_ptr<Process>(
         new Process(*this, std::move(name), std::move(body), stack_bytes));

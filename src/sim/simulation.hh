@@ -66,7 +66,7 @@ class Process
 
     enum class State { Created, Running, Suspended, Finished };
 
-    Process(Simulation &sim, std::string name, std::function<void()> body,
+    Process(Simulation &sim, std::string name, FiberBody body,
             std::size_t stack_bytes);
 
     Simulation &sim;
@@ -180,13 +180,23 @@ class Simulation
     /**
      * Create a process that starts running at the current time.
      *
+     * The body is stored inline in the process's FiberBody (no heap
+     * allocation); captures must fit FiberBody::kMaxCaptureBytes —
+     * box bulky state behind a pointer if a closure outgrows it.
+     *
      * @param name Debug/stat name for the process.
      * @param body Code to run; returning ends the process.
      * @param stack_bytes Fiber stack size.
      * @return a handle valid for the simulation's lifetime.
      */
-    Process *spawn(std::string name, std::function<void()> body,
-                   std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+    template <class F>
+    Process *
+    spawn(std::string name, F &&body,
+          std::size_t stack_bytes = Fiber::kDefaultStackBytes)
+    {
+        return spawnImpl(std::move(name),
+                         FiberBody(std::forward<F>(body)), stack_bytes);
+    }
 
     /** @return the process currently executing, or nullptr. */
     Process *
@@ -258,6 +268,17 @@ class Simulation
     /** Executed events across the main queue and every partition. */
     std::uint64_t executedEvents() const;
 
+    /**
+     * One-way fiber context transfers performed by this run's
+     * processes so far. A pure function of simulated execution —
+     * serial and parallel runs report identical totals — but host
+     * metadata, so it rides in reports only under SHRIMP_REPORT_HOST.
+     */
+    std::uint64_t fiberSwitchTotal();
+
+    /** fiberSwitchTotal() restricted to processes of one domain. */
+    std::uint64_t fiberSwitchesByDomain(int domain);
+
     /** True if any queue still has pending events. */
     bool anyPending() const { return pendingEvents() != 0; }
 
@@ -287,6 +308,9 @@ class Simulation
 
   private:
     friend class ParallelEngine;
+
+    Process *spawnImpl(std::string name, FiberBody body,
+                       std::size_t stack_bytes);
 
     void resumeProcess(Process *p);
 

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -96,6 +97,30 @@ TEST(ParallelIdentity, ThreadsByFaultsByMetricsMatrix)
             }
         }
     }
+}
+
+/**
+ * Fiber context transfers are a pure function of simulated execution:
+ * a parallel run — whose fibers migrate across worker threads — must
+ * perform exactly the switches the serial run does, and the
+ * per-partition counts must add up to the total. This is the
+ * strongest cheap probe that the assembly switch path is
+ * thread-agnostic (a missed register or thread-local in the switch
+ * would derail a migrated fiber long before the checksums matched).
+ */
+TEST(ParallelIdentity, FiberSwitchTotalsMatchSerial)
+{
+    ::unsetenv("SHRIMP_THREADS");
+    apps::AppResult ser = runRadix(1, false, false);
+    apps::AppResult par = runRadix(4, false, false);
+    ASSERT_NE(ser.hostFiberSwitches, 0u);
+    EXPECT_EQ(par.hostFiberSwitches, ser.hostFiberSwitches);
+    ASSERT_EQ(par.engineStats.size(), 4u);
+    std::uint64_t sum = 0;
+    for (const auto &p : par.engineStats)
+        sum += p.fiberSwitches;
+    EXPECT_EQ(sum, par.hostFiberSwitches);
+    EXPECT_TRUE(ser.engineStats.empty());
 }
 
 /** Same config, run twice at 4 threads: the engine itself is

@@ -235,6 +235,82 @@ TEST(Fiber, YieldSuspendsAndResumes)
     EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
 }
 
+namespace
+{
+
+/**
+ * Burn stack in 4 KB bites, touching both ends of every frame so the
+ * pages are really dirtied; returns the depth reached. noinline +
+ * volatile defeat the optimizer's urge to flatten the recursion.
+ */
+__attribute__((noinline)) int
+burnStack(int frames)
+{
+    volatile char frame[4096];
+    // Sub-page stride so the descent cannot step over a lone guard
+    // page no matter how the compiler pads the frame.
+    for (std::size_t i = 0; i < sizeof(frame); i += 1024)
+        frame[i] = char(frames);
+    frame[sizeof(frame) - 1] = char(frames);
+    if (frames <= 1)
+        return int(frame[0]);
+    return burnStack(frames - 1) + int(frame[sizeof(frame) - 1]);
+}
+
+} // anonymous namespace
+
+/**
+ * An overflowing fiber must die on the PROT_NONE guard page below its
+ * stack — a clean SIGSEGV at the fault point — instead of silently
+ * scribbling over whatever mapping the allocator placed beneath.
+ */
+TEST(FiberDeathTest, GuardPageCatchesOverflow)
+{
+    EXPECT_DEATH(
+        {
+            Fiber f([] { burnStack(64); }, 64 * 1024);
+            f.resume();
+        },
+        "");
+}
+
+/**
+ * The mincore high-water probe sees real stack consumption: a fiber
+ * that recursed ~40 KB deep on a 64 KB stack reports at least that
+ * much, never more than the stack, and feeds the process-wide mark.
+ */
+TEST(Fiber, StackHighWaterProbe)
+{
+    Fiber f([] { burnStack(10); }, 64 * 1024);
+    f.resume();
+    ASSERT_TRUE(f.finished());
+    EXPECT_GE(f.stackHighWaterBytes(), 10u * 4096);
+    EXPECT_LE(f.stackHighWaterBytes(), 64u * 1024);
+    EXPECT_GE(FiberStack::globalHighWaterBytes(),
+              std::uint64_t(f.stackHighWaterBytes()));
+}
+
+/**
+ * The switch counter is a pure function of the fiber's execution:
+ * n yields cost n+1 resumes in, n yields out, and one final exit —
+ * 2n+2 one-way transfers. Host-perf reports build on this being
+ * deterministic (test_parallel holds serial and parallel runs to the
+ * same totals).
+ */
+TEST(Fiber, SwitchCountIsDeterministic)
+{
+    constexpr int kYields = 5;
+    Fiber f([] {
+        for (int i = 0; i < kYields; ++i)
+            Fiber::current()->yield();
+    });
+    EXPECT_EQ(f.switches(), 0u);
+    for (int i = 0; i < kYields + 1; ++i)
+        f.resume();
+    ASSERT_TRUE(f.finished());
+    EXPECT_EQ(f.switches(), 2u * kYields + 2);
+}
+
 TEST(Simulation, DelayAdvancesTime)
 {
     Simulation sim;

@@ -468,6 +468,7 @@ main(int argc, char **argv)
                 r.hostWallSeconds > 0
                     ? double(r.hostEvents) / r.hostWallSeconds
                     : 0;
+            rep.host.fiberSwitches = r.hostFiberSwitches;
             rep.host.partitions = r.engineStats;
             fillHostRusage(rep.host);
         }
